@@ -1,0 +1,25 @@
+# Convenience targets for the TCB reproduction.
+
+.PHONY: install test bench examples figures report clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+figures:
+	python -m repro figure all --out figures_report.txt
+
+report: test bench
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache */__pycache__ src/repro/__pycache__ src/repro/*/__pycache__

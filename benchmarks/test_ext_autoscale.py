@@ -1,0 +1,88 @@
+"""Extension bench: autoscaling vs fixed fleets under bursty traffic.
+
+Compares, on the same bursty workload, (a) a fixed 1-engine cluster,
+(b) a fixed max-size cluster, and (c) the watermark autoscaler — on
+served requests and on *engine-seconds consumed* (the cost axis).  The
+autoscaler should approach the big fleet's service at a fraction of its
+engine-time when traffic is bursty.
+"""
+
+from repro.config import BatchConfig, SchedulerConfig
+from repro.engine.concat import ConcatEngine
+from repro.experiments.tables import format_series_table
+from repro.scheduling.das import DASScheduler
+from repro.serving.autoscale import AutoscalingSimulator
+from repro.serving.cluster import ClusterSimulator
+from repro.workload.burst import BurstyWorkload
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.generator import LengthDistribution
+
+BATCH = BatchConfig(num_rows=16, row_length=100)
+MAX_ENGINES = 4
+
+
+def _workload(seed: int) -> BurstyWorkload:
+    return BurstyWorkload(
+        rate=500.0,
+        burst_factor=6.0,
+        mean_state_duration=1.0,
+        lengths=LengthDistribution(family="normal", mean=20, spread=20, low=3, high=100),
+        deadlines=DeadlineModel(base_slack=2.0, jitter=1.0),
+        horizon=8.0,
+        seed=seed,
+    )
+
+
+def _series():
+    out = {"fleet": [], "served": [], "engine_seconds": [], "peak_engines": []}
+
+    def record(name, served, engine_s, peak):
+        out["fleet"].append(name)
+        out["served"].append(served)
+        out["engine_seconds"].append(engine_s)
+        out["peak_engines"].append(peak)
+
+    for g, name in ((1, "fixed-1"), (MAX_ENGINES, f"fixed-{MAX_ENGINES}")):
+        served = engine_s = 0.0
+        for seed in (0, 1):
+            m = ClusterSimulator(
+                DASScheduler(BATCH, SchedulerConfig()),
+                [ConcatEngine(BATCH) for _ in range(g)],
+            ).run(_workload(seed)).metrics
+            served += m.num_served / 2
+            engine_s += m.total_engine_time / 2
+        record(name, served, engine_s, g)
+
+    served = engine_s = peak = 0.0
+    for seed in (0, 1):
+        sim = AutoscalingSimulator(
+            DASScheduler(BATCH, SchedulerConfig()),
+            lambda: ConcatEngine(BATCH),
+            min_engines=1,
+            max_engines=MAX_ENGINES,
+            high_watermark=1500.0,
+            low_watermark=200.0,
+            startup_delay=0.3,
+        )
+        m = sim.run(_workload(seed))
+        served += m.num_served / 2
+        engine_s += m.total_engine_time / 2
+        peak = max(peak, sim.peak_engines)
+    record("autoscale", served, engine_s, peak)
+    return out
+
+
+def test_ext_autoscale(benchmark, save_table):
+    out = benchmark.pedantic(_series, rounds=1, iterations=1)
+    save_table(
+        "ext_autoscale",
+        format_series_table(out, "Extension — autoscaling vs fixed fleets (bursty)"),
+    )
+    served = dict(zip(out["fleet"], out["served"]))
+    peak = dict(zip(out["fleet"], out["peak_engines"]))
+    # Autoscaling serves more than the single engine...
+    assert served["autoscale"] > served["fixed-1"]
+    # ...reaches a decent fraction of the full fleet...
+    assert served["autoscale"] > 0.6 * served[f"fixed-{MAX_ENGINES}"]
+    # ...and actually scaled beyond one engine to do it.
+    assert peak["autoscale"] > 1

@@ -1,0 +1,109 @@
+"""Extension benches: multi-engine scale-out and DAS-vs-clairvoyant gap.
+
+Neither appears in the paper; both probe its system beyond the published
+evaluation:
+
+- **cluster scaling** — throughput of 1/2/4 shared-queue TCB engines
+  under overload (near-linear until the offered load is absorbed),
+- **oracle gap** — DAS's realised utility against a clairvoyant
+  LP-planned schedule on the same trace (how much is lost to being
+  online, versus the loose ⅕ worst-case bound).
+"""
+
+import numpy as np
+
+from repro.config import BatchConfig, SchedulerConfig
+from repro.engine.concat import ConcatEngine
+from repro.experiments.tables import format_series_table
+from repro.scheduling.das import DASScheduler
+from repro.scheduling.oracle import OracleScheduler
+from repro.serving.cluster import ClusterSimulator
+from repro.types import Request
+from repro.experiments.serving_sweeps import make_workload
+
+
+def _cluster_series():
+    batch = BatchConfig(num_rows=16, row_length=100)
+    sizes = (1, 2, 4)
+    thr, tok = [], []
+    for g in sizes:
+        total = 0.0
+        tokens = 0.0
+        for seed in (0, 1):
+            sim = ClusterSimulator(
+                DASScheduler(batch, SchedulerConfig()),
+                [ConcatEngine(batch) for _ in range(g)],
+            )
+            m = sim.run(make_workload(2000.0, horizon=8.0, seed=seed)).metrics
+            total += m.throughput
+            tokens += sum(r.length for r in m.served) / m.horizon
+        thr.append(total / 2)
+        tok.append(tokens / 2)
+    return {"engines": list(sizes), "resp_per_s": thr, "tokens_per_s": tok}
+
+
+def test_ext_cluster_scaling(benchmark, save_table):
+    out = benchmark.pedantic(_cluster_series, rounds=1, iterations=1)
+    save_table(
+        "ext_cluster",
+        format_series_table(out, "Extension — shared-queue cluster scaling"),
+    )
+    tok = out["tokens_per_s"]
+    # Token throughput scales near-linearly with engines; request
+    # throughput is concave because DAS serves shortest-first and extra
+    # capacity digs into longer requests.
+    assert tok[1] > 1.6 * tok[0]
+    assert tok[2] > 1.4 * tok[1]
+    assert out["resp_per_s"][2] > out["resp_per_s"][0]
+
+
+def _oracle_series():
+    batch = BatchConfig(num_rows=2, row_length=10)
+    slots = [0.25 + t for t in range(4)]
+    ratios = []
+    for seed in range(15):
+        rng = np.random.default_rng(seed)
+        reqs = []
+        for i in range(14):
+            a = float(rng.uniform(0, 3.5))
+            reqs.append(
+                Request(
+                    request_id=i,
+                    length=int(rng.integers(1, 9)),
+                    arrival=a,
+                    deadline=a + float(rng.uniform(0.5, 2.5)),
+                )
+            )
+
+        def replay(sched):
+            served, total = set(), 0.0
+            for t in slots:
+                waiting = [
+                    r for r in reqs if r.request_id not in served and r.is_available(t)
+                ]
+                for r in sched.select(waiting, t).selected():
+                    served.add(r.request_id)
+                    total += r.utility
+            return total
+
+        das = replay(DASScheduler(batch, SchedulerConfig()))
+        oracle = replay(OracleScheduler(batch, reqs, slots))
+        if oracle > 0:
+            ratios.append(das / oracle)
+    return {
+        "instances": [len(ratios)],
+        "das_over_oracle_mean": [float(np.mean(ratios))],
+        "das_over_oracle_min": [float(np.min(ratios))],
+        "theorem_bound": [SchedulerConfig().competitive_ratio],
+    }
+
+
+def test_ext_oracle_gap(benchmark, save_table):
+    out = benchmark.pedantic(_oracle_series, rounds=1, iterations=1)
+    save_table(
+        "ext_oracle",
+        format_series_table(out, "Extension — DAS vs clairvoyant oracle"),
+    )
+    # Online DAS should land far above the ⅕ worst-case bound in practice.
+    assert out["das_over_oracle_min"][0] > out["theorem_bound"][0]
+    assert out["das_over_oracle_mean"][0] > 0.7

@@ -1,0 +1,63 @@
+"""Extension bench: slot-level TCB vs ORCA-style continuous batching.
+
+The paper predates iteration-level scheduling; this bench puts the two
+philosophies side by side on the paper's workload:
+
+- **TCB (slot-level)** — DAS packs a ConcatBatching batch, it runs to
+  completion, repeat,
+- **continuous** — requests join/leave the running batch every decode
+  step (fused prefill), with FCFS or utility-ordered admission.
+
+Expected: continuous batching cuts *latency* (no waiting for batch
+boundaries) and utility-ordered admission beats FCFS under overload
+(head-of-line blocking); slot-level TCB remains competitive on raw
+throughput because its packed batches amortise per-iteration overheads.
+"""
+
+from repro.config import BatchConfig
+from repro.experiments.serving_sweeps import make_workload, serving_point
+from repro.experiments.tables import format_series_table
+from repro.serving.continuous import ContinuousBatchingSimulator
+
+
+def _series():
+    batch = BatchConfig(num_rows=64, row_length=100)
+    rates = (100, 250, 450, 1000)
+    out = {
+        "rate": list(rates),
+        "slot_tcb_thr": [],
+        "cont_util_thr": [],
+        "cont_fcfs_thr": [],
+        "slot_tcb_lat": [],
+        "cont_util_lat": [],
+    }
+    for rate in rates:
+        slot = serving_point("TCB", "das", rate, horizon=8.0, seeds=(0,))
+        cu = ContinuousBatchingSimulator(batch, admission="utility").run(
+            make_workload(rate, horizon=8.0, seed=0)
+        )
+        cf = ContinuousBatchingSimulator(batch, admission="fcfs").run(
+            make_workload(rate, horizon=8.0, seed=0)
+        )
+        out["slot_tcb_thr"].append(slot.throughput)
+        out["cont_util_thr"].append(cu.throughput)
+        out["cont_fcfs_thr"].append(cf.throughput)
+        out["slot_tcb_lat"].append(slot.mean_latency)
+        out["cont_util_lat"].append(cu.mean_latency)
+    return out
+
+
+def test_ext_continuous_batching(benchmark, save_table):
+    out = benchmark.pedantic(_series, rounds=1, iterations=1)
+    save_table(
+        "ext_continuous",
+        format_series_table(out, "Extension — slot-level TCB vs continuous batching"),
+    )
+    i = out["rate"].index(1000)
+    # Utility admission beats FCFS admission under overload.
+    assert out["cont_util_thr"][i] > 1.5 * out["cont_fcfs_thr"][i]
+    # Both serving philosophies are in the same league at moderate load.
+    j = out["rate"].index(250)
+    assert out["cont_util_thr"][j] > 0.5 * out["slot_tcb_thr"][j]
+    # Latencies are finite and positive where anything was served.
+    assert all(l >= 0 for l in out["cont_util_lat"])

@@ -1,0 +1,66 @@
+"""Extension bench: length fairness of the schedulers.
+
+The 1/l utility makes short requests first-class citizens; this bench
+quantifies the flip side — per-length-quantile service rates and Jain's
+index for DAS vs FCFS at overload.  Expected: DAS serves nearly all
+short requests and starves the long tail (low Jain index); FCFS is
+blinder to length (higher Jain index) but serves far fewer requests
+overall.  A deployment picks its point on that trade-off.
+"""
+
+from repro.analysis.fairness import jain_index, service_rate_by_length
+from repro.config import BatchConfig, SchedulerConfig
+from repro.engine.concat import ConcatEngine
+from repro.experiments.serving_sweeps import make_workload
+from repro.experiments.tables import format_series_table
+from repro.scheduling.baselines import FCFSScheduler
+from repro.scheduling.das import DASScheduler
+from repro.serving.simulator import ServingSimulator
+
+
+def _series():
+    batch = BatchConfig(num_rows=16, row_length=100)
+    out = {"policy": [], "bucket_max_len": [], "service_rate": []}
+    summary = {"policy": [], "jain": [], "served": []}
+    for name, sched in (
+        ("DAS", DASScheduler(batch, SchedulerConfig())),
+        ("FCFS", FCFSScheduler(batch)),
+    ):
+        m = (
+            ServingSimulator(sched, ConcatEngine(batch))
+            .run(make_workload(600.0, horizon=8.0, seed=0))
+            .metrics
+        )
+        rates = service_rate_by_length(m, num_buckets=5)
+        for mx, r in zip(rates["max_length"], rates["service_rate"]):
+            out["policy"].append(name)
+            out["bucket_max_len"].append(mx)
+            out["service_rate"].append(r)
+        summary["policy"].append(name)
+        summary["jain"].append(jain_index(rates["service_rate"]))
+        summary["served"].append(float(m.num_served))
+    return out, summary
+
+
+def test_ext_length_fairness(benchmark, save_table):
+    detail, summary = benchmark.pedantic(_series, rounds=1, iterations=1)
+    save_table(
+        "ext_fairness",
+        format_series_table(detail, "Extension — service rate by length bucket")
+        + "\n\n"
+        + format_series_table(summary, "Jain index & served counts"),
+    )
+    das = {
+        detail["bucket_max_len"][i]: detail["service_rate"][i]
+        for i in range(len(detail["policy"]))
+        if detail["policy"][i] == "DAS"
+    }
+    # DAS: short buckets nearly fully served, long tail starved.
+    rates = list(das.values())
+    assert rates[0] > 0.9
+    assert rates[-1] < rates[0]
+    # Trade-off: FCFS is fairer per Jain, DAS serves more in total.
+    jain = dict(zip(summary["policy"], summary["jain"]))
+    served = dict(zip(summary["policy"], summary["served"]))
+    assert served["DAS"] > served["FCFS"]
+    assert jain["FCFS"] > 0.0

@@ -1,0 +1,47 @@
+"""Extension bench: response-latency percentiles per system.
+
+The paper reports utility/throughput; operators also watch latency
+SLOs.  This bench records mean/p95/p99 response latency (finish −
+arrival) for DAS-fed TNB/TTB/TCB at a moderate rate, where all systems
+still serve most requests, so percentiles are comparable.
+
+Expected: TCB's denser batches drain the queue faster, so its tail
+latency is no worse than the baselines' despite serving more requests.
+"""
+
+from repro.experiments.serving_sweeps import serving_point
+from repro.experiments.tables import format_series_table
+
+
+def _series():
+    out = {"system": [], "served": [], "mean_s": [], "p95_s": [], "p99_s": []}
+    for system in ("TNB", "TTB", "TCB"):
+        m = serving_point(system, "das", 120.0, horizon=10.0, seeds=(0, 1))
+        out["system"].append(system)
+        out["served"].append(float(m.num_served))
+        out["mean_s"].append(m.mean_latency)
+        out["p95_s"].append(m.latency_percentile(95))
+        out["p99_s"].append(m.latency_percentile(99))
+    return out
+
+
+def test_ext_latency_slo(benchmark, save_table):
+    out = benchmark.pedantic(_series, rounds=1, iterations=1)
+    save_table(
+        "ext_latency",
+        format_series_table(out, "Extension — response-latency percentiles (DAS, 120 req/s)"),
+    )
+    data = {
+        s: (srv, mean, p99)
+        for s, srv, mean, p99 in zip(
+            out["system"], out["served"], out["mean_s"], out["p99_s"]
+        )
+    }
+    # TCB serves at least as many requests...
+    assert data["TCB"][0] >= data["TNB"][0]
+    # ...with finite, sane latencies.
+    for system, (_, mean, p99) in data.items():
+        assert 0.0 < mean <= p99 < 60.0, system
+    # TCB's mean latency is competitive (within 1.5× of the best system).
+    best_mean = min(v[1] for v in data.values())
+    assert data["TCB"][1] < 1.5 * best_mean

@@ -1,0 +1,34 @@
+"""Extension bench: robustness of conclusions to cost-model error.
+
+Halves and doubles every calibrated cost constant (±100 % calibration
+error) and asserts that the paper-level *conclusions* survive each
+perturbation: TCB beats the baselines, slotting speeds up large batches
+substantially and still plateaus.  This is the due-diligence check for
+the GPU→cost-model substitution documented in DESIGN.md.
+"""
+
+from repro.experiments.sensitivity import sensitivity_sweep
+from repro.experiments.tables import format_series_table
+
+
+def test_ext_cost_model_sensitivity(benchmark, save_table):
+    out = benchmark.pedantic(
+        lambda: sensitivity_sweep(factors=(0.5, 2.0), seeds=(0,)),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "ext_sensitivity",
+        format_series_table(out, "Extension — cost-model sensitivity (±2× each constant)"),
+    )
+    n = len(out["perturbation"])
+    for i in range(n):
+        label = out["perturbation"][i]
+        # TCB beats TNB under DAS for every perturbation.
+        assert out["fig10_gap"][i] > 1.3, label
+        # TCB beats both baselines under FCFS for every perturbation.
+        assert out["tcb_wins_fcfs"][i] == 1.0, label
+        # Slotting always pays off at batch 32 and never explodes at 20
+        # slots (plateau within ±0.7 of the 7-slot speedup).
+        assert out["fig14_speedup"][i] > 1.3, label
+        assert abs(out["fig14_plateau"][i]) < 0.7, label

@@ -1,0 +1,29 @@
+"""Fig. 9: total utility vs request arrival rate (DAS-TNB/TTB/TCB).
+
+Paper result: utility grows with rate for all systems; TNB and TTB
+flatten around 350 req/s while TCB keeps absorbing load; after
+saturation TCB's utility leads TNB by ≈2.2× and TTB by ≈1.3×.
+"""
+
+from repro.experiments import format_series_table, run_fig09_utility
+from repro.experiments.serving_sweeps import PAPER_RATES_DAS
+
+
+def test_fig09_utility_vs_rate(benchmark, save_table):
+    out = benchmark.pedantic(
+        lambda: run_fig09_utility(PAPER_RATES_DAS, horizon=10.0, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig09", format_series_table(out, "Fig. 9 — utility vs arrival rate (DAS)"))
+
+    i_sat = out["rate"].index(1000)
+    tnb, ttb, tcb = (
+        out["DAS-TNB"][i_sat],
+        out["DAS-TTB"][i_sat],
+        out["DAS-TCB"][i_sat],
+    )
+    assert tcb > ttb and tcb > tnb
+    assert tcb / tnb > 1.5  # paper: 2.20x
+    # Utility is monotone-ish in offered load for TCB.
+    assert out["DAS-TCB"][-1] > out["DAS-TCB"][0]

@@ -1,0 +1,32 @@
+"""Fig. 10: serving throughput vs request arrival rate (DAS-fed).
+
+Paper result: TCB always on top; maximum gaps ≈2.22× over TNB and
+≈1.48× over TTB.
+"""
+
+from repro.experiments import format_series_table, run_fig10_throughput
+from repro.experiments.serving_sweeps import PAPER_RATES_DAS
+
+
+def test_fig10_throughput_vs_rate(benchmark, save_table):
+    out = benchmark.pedantic(
+        lambda: run_fig10_throughput(PAPER_RATES_DAS, horizon=10.0, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "fig10", format_series_table(out, "Fig. 10 — throughput vs arrival rate (DAS)")
+    )
+
+    # TCB dominates at and after saturation.
+    for rate in (450, 1000, 1500):
+        i = out["rate"].index(rate)
+        assert out["DAS-TCB"][i] >= out["DAS-TTB"][i]
+        assert out["DAS-TCB"][i] >= out["DAS-TNB"][i]
+    # Maximum gap over TNB lands in the paper's neighbourhood (2.22×).
+    gaps = [
+        out["DAS-TCB"][i] / out["DAS-TNB"][i]
+        for i in range(len(out["rate"]))
+        if out["DAS-TNB"][i] > 0
+    ]
+    assert max(gaps) > 1.8

@@ -1,0 +1,30 @@
+"""Fig. 11: FCFS throughput vs rate, length spread σ=20.
+
+Paper result: with scheduling influence removed (plain FCFS), the
+inference-engine gap shows directly — max TCB/TNB ≈3.33×, TCB/TTB
+≈1.52×; all systems saturate earlier than under DAS (Fig. 10).
+"""
+
+from repro.experiments import format_series_table, run_fig11_fig12_fcfs
+from repro.experiments.serving_sweeps import PAPER_RATES_FCFS
+
+
+def test_fig11_fcfs_spread20(benchmark, save_table):
+    out = benchmark.pedantic(
+        lambda: run_fig11_fig12_fcfs(20.0, PAPER_RATES_FCFS, horizon=10.0, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "fig11", format_series_table(out, "Fig. 11 — FCFS throughput vs rate (σ=20)")
+    )
+
+    i = out["rate"].index(1000)
+    assert out["FCFS-TCB"][i] > out["FCFS-TTB"][i] > out["FCFS-TNB"][i]
+    # Engine-only gap over TNB ≈3.3× in the paper; accept 2–5×.
+    ratio = out["FCFS-TCB"][i] / out["FCFS-TNB"][i]
+    assert 2.0 < ratio < 5.0
+    # FCFS saturates earlier than DAS did (≤140 vs ≥250 req/s): the
+    # throughput at 250 is already ≈ the throughput at 1500.
+    i250 = out["rate"].index(250)
+    assert out["FCFS-TCB"][-1] < out["FCFS-TCB"][i250] * 1.35

@@ -1,0 +1,33 @@
+"""Fig. 12: FCFS throughput vs rate, length spread σ=100.
+
+Paper result: with higher length variance TurboBatching struggles to
+find similar-length requests, so TCB's lead over TTB grows (1.52× →
+1.72× at the saturation knee).
+"""
+
+from repro.experiments import format_series_table, run_fig11_fig12_fcfs
+from repro.experiments.serving_sweeps import PAPER_RATES_FCFS
+
+
+def test_fig12_fcfs_spread100(benchmark, save_table):
+    out = benchmark.pedantic(
+        lambda: run_fig11_fig12_fcfs(100.0, PAPER_RATES_FCFS, horizon=10.0, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "fig12", format_series_table(out, "Fig. 12 — FCFS throughput vs rate (σ=100)")
+    )
+
+    # TCB still on top at saturation.
+    i = out["rate"].index(1000)
+    assert out["FCFS-TCB"][i] > out["FCFS-TTB"][i]
+    assert out["FCFS-TCB"][i] > out["FCFS-TNB"][i]
+
+    # Variance effect at the knee (120 req/s): the TCB/TTB gap under
+    # σ=100 exceeds the gap under σ=20 (paper: 1.52× → 1.72×).
+    lo = run_fig11_fig12_fcfs(20.0, (120,), horizon=10.0, seeds=(0, 1))
+    i_knee = out["rate"].index(120)
+    gap_hi = out["FCFS-TCB"][i_knee] / out["FCFS-TTB"][i_knee]
+    gap_lo = lo["FCFS-TCB"][0] / lo["FCFS-TTB"][0]
+    assert gap_hi > gap_lo

@@ -1,0 +1,29 @@
+"""Fig. 14: slotted-over-pure speedup, batch size 32, row length 400.
+
+Paper result: up to ≈2.31× speedup at 7 slots, then no big growth —
+slotting removes more redundancy at larger batch sizes.
+"""
+
+from repro.experiments import format_series_table, run_fig13_fig14_slot_speedup
+from repro.experiments.slot_speedup import PAPER_SLOT_COUNTS
+
+
+def test_fig14_slot_speedup_batch32(benchmark, save_table):
+    out = benchmark.pedantic(
+        lambda: run_fig13_fig14_slot_speedup(32, 400, PAPER_SLOT_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "fig14", format_series_table(out, "Fig. 14 — slotted speedup (batch 32, len 400)")
+    )
+
+    assert out["speedup"][0] == 1.0
+    i7, i20 = out["slots"].index(7), out["slots"].index(20)
+    # Paper: 2.31× at 7 slots; accept the 2–2.6 neighbourhood.
+    assert 2.0 < out["speedup"][i7] < 2.6
+    # Plateau after 7 slots.
+    assert abs(out["speedup"][i20] - out["speedup"][i7]) < 0.3
+    # Larger batch gains more than Fig. 13's batch 10.
+    b10 = run_fig13_fig14_slot_speedup(10, 400, (1, 7))
+    assert out["speedup"][i7] > b10["speedup"][1]

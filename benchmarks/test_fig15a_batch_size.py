@@ -1,0 +1,26 @@
+"""Fig. 15(a): utility under different batch sizes, DAS vs SJF/FCFS/DEF.
+
+Paper result: utility increases with batch size for every policy and
+DAS-TCB outperforms the others at all batch sizes.
+"""
+
+from repro.experiments import format_series_table, run_fig15a_batch_size
+
+
+def test_fig15a_batch_size(benchmark, save_table):
+    out = benchmark.pedantic(
+        lambda: run_fig15a_batch_size((5, 10, 16), horizon=10.0, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "fig15a", format_series_table(out, "Fig. 15a — utility vs batch size")
+    )
+
+    for i in range(3):
+        das = out["DAS-TCB"][i]
+        assert das > out["SJF-TCB"][i] > out["FCFS-TCB"][i] * 0.9
+        assert das > out["DEF-TCB"][i]
+    # Larger batches accommodate more requests → more utility (paper).
+    assert out["DAS-TCB"][2] > out["DAS-TCB"][0]
+    assert out["SJF-TCB"][2] > out["SJF-TCB"][0]

@@ -1,0 +1,23 @@
+"""Fig. 15(b): utility under different length variances (batch size 16).
+
+Paper result: DAS-TCB shows an obvious improvement over SJF/FCFS/DEF at
+every variance — it is aware of variable-length requests.
+"""
+
+from repro.experiments import format_series_table, run_fig15b_variance
+
+
+def test_fig15b_variance(benchmark, save_table):
+    out = benchmark.pedantic(
+        lambda: run_fig15b_variance((10, 50, 100), horizon=10.0, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "fig15b", format_series_table(out, "Fig. 15b — utility vs length spread")
+    )
+
+    for i in range(3):
+        das = out["DAS-TCB"][i]
+        for other in ("SJF-TCB", "FCFS-TCB", "DEF-TCB"):
+            assert das > out[other][i]

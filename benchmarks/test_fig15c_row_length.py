@@ -1,0 +1,23 @@
+"""Fig. 15(c): utility under different batch row lengths L.
+
+Paper result: DAS-TCB stays ≈40% above SJF-TCB and more above the rest
+across L ∈ {100, 200, 300}.
+"""
+
+from repro.experiments import format_series_table, run_fig15c_row_length
+
+
+def test_fig15c_row_length(benchmark, save_table):
+    out = benchmark.pedantic(
+        lambda: run_fig15c_row_length((100, 200, 300), horizon=10.0, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "fig15c", format_series_table(out, "Fig. 15c — utility vs row length")
+    )
+
+    for i in range(3):
+        das = out["DAS-TCB"][i]
+        for other in ("SJF-TCB", "FCFS-TCB", "DEF-TCB"):
+            assert das > out[other][i]

@@ -1,0 +1,82 @@
+"""Multi-tenant serving: priority weights in the DAS objective.
+
+An extension beyond the paper: each request carries a priority weight
+and its utility becomes w/l, so DAS serves premium tenants
+preferentially with zero scheduler changes.  This demo runs two tenants
+(premium ×5 weight, standard ×1) through one overloaded TCB instance
+and reports per-tenant service rates.
+
+Run:  python examples/multi_tenant.py
+"""
+
+import numpy as np
+
+from repro.config import BatchConfig, SchedulerConfig
+from repro.engine.concat import ConcatEngine
+from repro.experiments.tables import format_series_table
+from repro.scheduling.das import DASScheduler
+from repro.serving.simulator import ServingSimulator
+from repro.types import Request
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.generator import LengthDistribution
+
+
+def make_two_tenant_workload(
+    rate_per_tenant: float = 300.0,
+    horizon: float = 8.0,
+    seed: int = 0,
+) -> list[Request]:
+    rng = np.random.default_rng(seed)
+    lengths = LengthDistribution(family="normal", mean=20, spread=20, low=3, high=100)
+    deadlines = DeadlineModel(base_slack=2.0, jitter=1.0)
+    out: list[Request] = []
+    rid = 0
+    for weight in (5.0, 1.0):  # premium, standard
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate_per_tenant))
+            if t >= horizon:
+                break
+            l = int(lengths.sample(1, rng)[0])
+            out.append(
+                Request(
+                    request_id=rid,
+                    length=l,
+                    arrival=t,
+                    deadline=deadlines.deadline(t, l, rng),
+                    weight=weight,
+                )
+            )
+            rid += 1
+    return sorted(out, key=lambda r: (r.arrival, r.request_id))
+
+
+def main() -> None:
+    batch = BatchConfig(num_rows=16, row_length=100)
+    workload = make_two_tenant_workload()
+    sim = ServingSimulator(DASScheduler(batch, SchedulerConfig()), ConcatEngine(batch))
+    m = sim.run(list(workload), horizon=8.0).metrics
+
+    served_ids = {r.request_id for r in m.served}
+    rows = {"tenant": [], "offered": [], "served": [], "service_rate": []}
+    for name, weight in (("premium (w=5)", 5.0), ("standard (w=1)", 1.0)):
+        offered = [r for r in workload if r.weight == weight]
+        served = [r for r in offered if r.request_id in served_ids]
+        rows["tenant"].append(name)
+        rows["offered"].append(len(offered))
+        rows["served"].append(len(served))
+        rows["service_rate"].append(len(served) / len(offered))
+
+    print(format_series_table(rows, "per-tenant service under one overloaded TCB"))
+    assert rows["service_rate"][0] > rows["service_rate"][1], (
+        "premium tenant should be served preferentially"
+    )
+    print(
+        "\nDAS needs no changes: the weight flows through utility = w/l, so\n"
+        "premium requests outrank standard ones of the same length while\n"
+        "short standard requests can still beat long premium ones."
+    )
+
+
+if __name__ == "__main__":
+    main()

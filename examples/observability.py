@@ -1,0 +1,74 @@
+"""Observability: slot traces, queue-depth timelines, trace replay.
+
+Shows the operational tooling around the serving loop:
+
+1. run a serving simulation with slot recording on,
+2. inspect per-slot records (utilisation, scheduler runtime) and export
+   them as JSONL,
+3. chart the queue depth / served / expired timeline in the terminal,
+4. persist the workload trace and replay it bit-exactly.
+
+Run:  python examples/observability.py
+"""
+
+from repro.analysis.ascii_plot import ascii_chart
+from repro.config import BatchConfig, SchedulerConfig
+from repro.engine.concat import ConcatEngine
+from repro.experiments.serving_sweeps import make_workload
+from repro.scheduling.das import DASScheduler
+from repro.serving.simulator import ServingSimulator
+from repro.serving.trace import slot_records, timeline, to_jsonl
+from repro.workload.replay import trace_from_jsonl, trace_to_jsonl
+
+
+def main() -> None:
+    batch = BatchConfig(num_rows=16, row_length=100)
+    workload = make_workload(300.0, horizon=6.0, seed=5)
+    requests = workload.generate()
+
+    sim = ServingSimulator(
+        DASScheduler(batch, SchedulerConfig()),
+        ConcatEngine(batch),
+        record_slots=True,
+    )
+    result = sim.run(list(requests), horizon=6.0)
+    m = result.metrics
+
+    print(
+        f"served {m.num_served}/{m.num_served + m.num_expired} requests in "
+        f"{m.num_batches} slots; utility {m.total_utility:.1f}, "
+        f"mean latency {m.mean_latency:.2f}s, p99 {m.latency_percentile(99):.2f}s"
+    )
+
+    # 1. Per-slot records.
+    recs = slot_records(result)
+    print("\nfirst three slots:")
+    for rec in recs[:3]:
+        print(
+            f"  t={rec['t_start']:.2f}s served={rec['num_served']:3d} "
+            f"lat={rec['latency']:.2f}s util={rec['utilisation']:.0%} "
+            f"sched={rec['scheduler_runtime'] * 1e3:.2f}ms"
+        )
+    jsonl = to_jsonl(result)
+    print(f"  ... {len(jsonl.splitlines())} slot records exportable as JSONL")
+
+    # 2. Timeline chart.
+    tl = timeline(result, requests, num_points=40)
+    print("\nqueue/served/expired over time:")
+    print(ascii_chart(tl, x_key="t", shared_scale=False))
+
+    # 3. Trace replay.
+    replayed = trace_from_jsonl(trace_to_jsonl(requests))
+    m2 = (
+        ServingSimulator(DASScheduler(batch, SchedulerConfig()), ConcatEngine(batch))
+        .run(replayed, horizon=6.0)
+        .metrics
+    )
+    print(
+        f"\nreplayed persisted trace: served {m2.num_served} "
+        f"(identical: {m2.num_served == m.num_served})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Redraw the paper's explanatory figures as terminal art.
+
+Regenerates, from live library objects (not hardcoded strings):
+
+- Fig. 1 — the three batching schemes on the same request set,
+- Fig. 4 — pure vs slotted ConcatBatching,
+- Fig. 5 — traditional vs separate positional encoding,
+- Eq. 6 — the block-diagonal attention mask,
+- and the evaluation curves (Figs. 10/14) as sparkline panels.
+
+Run:  python examples/paper_figures_ascii.py
+"""
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_chart
+from repro.core.layout import BatchLayout
+from repro.core.masks import block_diagonal_mask
+from repro.core.packing import pack_first_fit
+from repro.core.render import render_layout, render_mask, render_positions
+from repro.core.slotting import pack_into_slots
+from repro.experiments import run_fig13_fig14_slot_speedup
+from repro.types import make_requests
+
+
+def fig1_batching_schemes() -> None:
+    reqs = make_requests([7, 3, 5, 2, 4, 3], start_id=0)
+    print("=== Fig. 1 — batching schemes (letters = requests, '.' = padding)\n")
+    naive = BatchLayout.naive(reqs)
+    print(f"(a) NaiveBatching — padding {naive.padding_ratio:.0%}")
+    print(render_layout(naive), "\n")
+
+    by_len = sorted(reqs, key=lambda r: r.length)
+    turbo_short = BatchLayout.naive(by_len[:3])
+    turbo_long = BatchLayout.naive(by_len[3:])
+    pad = (turbo_short.padded_tokens + turbo_long.padded_tokens) / (
+        turbo_short.num_rows * turbo_short.effective_width
+        + turbo_long.num_rows * turbo_long.effective_width
+    )
+    print(f"(b) TurboBatching (length-sorted groups) — padding {pad:.0%}")
+    print(render_layout(turbo_short))
+    print(render_layout(turbo_long), "\n")
+
+    concat = pack_first_fit(reqs, num_rows=2, row_length=12).layout
+    print(f"(c) ConcatBatching — padding {concat.padding_ratio:.0%}")
+    print(render_layout(concat), "\n")
+
+
+def fig4_pure_vs_slotted() -> None:
+    reqs = make_requests([4, 4, 4, 4, 4, 4], start_id=100)
+    print("=== Fig. 4 — pure vs slotted ConcatBatching ('|' = slot edge)\n")
+    pure = pack_first_fit(reqs, num_rows=2, row_length=12).layout
+    print("pure:")
+    print(render_layout(pure))
+    slotted = pack_into_slots(reqs, num_rows=2, row_length=12, slot_size=4).layout
+    print("slotted (slot size 4):")
+    print(render_layout(slotted), "\n")
+
+
+def fig5_positional_encoding() -> None:
+    reqs = make_requests([5, 4, 3], start_id=200)
+    layout = pack_first_fit(reqs, num_rows=1, row_length=12).layout
+    print("=== Fig. 5 — positional encoding for a concatenated row\n")
+    print("(a) traditional (wrong under concatenation):")
+    print(render_positions(layout, separate=False))
+    print("(b) TCB's separate encoding (restarts per request):")
+    print(render_positions(layout, separate=True), "\n")
+
+
+def eq6_mask() -> None:
+    reqs = make_requests([3, 2, 3], start_id=300)
+    layout = pack_first_fit(reqs, num_rows=1, row_length=8).layout
+    print("=== Eq. 6 — block-diagonal mask ('#' attend, '.' = −inf)\n")
+    print(render_mask(block_diagonal_mask(layout.segment_id_matrix())), "\n")
+
+
+def evaluation_sparklines() -> None:
+    print("=== Figs. 13/14 — slotted speedup curves\n")
+    for b in (10, 32):
+        out = run_fig13_fig14_slot_speedup(b)
+        print(ascii_chart(
+            {"slots": out["slots"], f"speedup(B={b})": out["speedup"]},
+            x_key="slots",
+        ))
+    print()
+
+
+def main() -> None:
+    fig1_batching_schemes()
+    fig4_pure_vs_slotted()
+    fig5_positional_encoding()
+    eq6_mask()
+    evaluation_sparklines()
+
+
+if __name__ == "__main__":
+    main()

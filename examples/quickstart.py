@@ -1,0 +1,75 @@
+"""Quickstart: ConcatBatching in five minutes.
+
+Walks the core public API:
+
+1. build variable-length requests,
+2. pack them into a concatenated batch layout,
+3. run the NumPy Seq2Seq transformer over the layout with TCB's
+   separate positional encoding + masked attention,
+4. verify the results equal isolated per-request inference,
+5. compare padding waste against NaiveBatching.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ModelConfig, Request
+from repro.core.layout import BatchLayout
+from repro.core.packing import pack_first_fit
+from repro.model.seq2seq import Seq2SeqModel
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    cfg = ModelConfig.tiny()
+    model = Seq2SeqModel(cfg, seed=42)
+
+    # 1. Variable-length requests (token ids from the toy vocab range).
+    lengths = [9, 3, 12, 5, 7, 4, 6, 2]
+    requests = [
+        Request(
+            request_id=i,
+            length=l,
+            tokens=tuple(int(t) for t in rng.integers(4, cfg.vocab_size, size=l)),
+        )
+        for i, l in enumerate(lengths)
+    ]
+
+    # 2. ConcatBatching: pack all 8 requests into 2 rows of 25 tokens.
+    packing = pack_first_fit(requests, num_rows=2, row_length=25)
+    layout = packing.layout
+    print(f"packed {packing.num_packed} requests into {layout.num_rows} rows")
+    print(f"effective width {layout.effective_width}, "
+          f"padding ratio {layout.padding_ratio:.1%}")
+
+    # 3. Encode with separate PE + block-diagonal masked attention.
+    encoded = model.encode_layout(layout)
+
+    # 4. Correctness: every request's states equal isolated inference.
+    worst = 0.0
+    for row_idx, seg in layout.segments():
+        alone = model.encode_single(seg.request.tokens)[0]
+        batched = encoded[row_idx, seg.start : seg.end]
+        worst = max(worst, float(np.abs(alone - batched).max()))
+    print(f"max |concat - isolated| over all requests: {worst:.2e}")
+    assert worst < 1e-9, "ConcatBatching must be numerically exact"
+
+    # ... and the same holds through autoregressive decoding.
+    generated = model.greedy_decode(layout, max_new_tokens=5)
+    for req in requests:
+        ref = model.greedy_decode_single(req.tokens, max_new_tokens=5)
+        assert generated.outputs[req.request_id] == ref
+    print("greedy decode matches isolated decoding for all 8 requests")
+
+    # 5. Padding comparison vs NaiveBatching.
+    naive = BatchLayout.naive(requests)
+    print(
+        f"\npadded zeros — naive: {naive.padded_tokens} "
+        f"({naive.padding_ratio:.1%}), concat: {layout.padded_tokens} "
+        f"({layout.padding_ratio:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Slotted ConcatBatching: speedup and early memory cleaning (§4.2).
+
+Regenerates the Figs. 13/14 speedup curves from the calibrated cost
+model and then demonstrates §4.2.2's early memory cleaning: slots whose
+requests finish decoding early release GPU memory before the batch
+completes — something pure ConcatBatching structurally cannot do.
+
+Run:  python examples/slotted_speedup.py
+"""
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.core.slotting import pack_into_slots
+from repro.engine.memory import GPUMemorySimulator
+from repro.experiments import format_series_table, run_fig13_fig14_slot_speedup
+from repro.model.seq2seq import Seq2SeqModel
+from repro.types import Request
+
+
+def speedup_curves() -> None:
+    for b in (10, 32):
+        out = run_fig13_fig14_slot_speedup(b)
+        print(format_series_table(out, f"slotted speedup, batch size {b}"))
+        print()
+
+
+def early_cleaning_demo() -> None:
+    rng = np.random.default_rng(5)
+    cfg = ModelConfig.tiny()
+    model = Seq2SeqModel(cfg, seed=2)
+
+    reqs = [
+        Request(
+            request_id=i,
+            length=6,
+            tokens=tuple(int(t) for t in rng.integers(4, cfg.vocab_size, size=6)),
+        )
+        for i in range(8)
+    ]
+    res = pack_into_slots(reqs, num_rows=2, row_length=24, slot_size=6)
+    gen = model.greedy_decode(res.layout, max_new_tokens=8)
+
+    # The randomly initialised toy model rarely emits EOS, so all decodes
+    # exhaust the budget together; in production, outputs end at very
+    # different steps (the paper's §4.2.2 observation).  Overlay the
+    # completion profile of an EOS-terminating workload: each request
+    # finishes after ~its input length of generated tokens.
+    completion = {
+        r.request_id: int(min(8, max(1, rng.poisson(1 + i))))
+        for i, r in enumerate(reqs)
+    }
+    completion.update(
+        {rid: min(step, gen.steps_run) for rid, step in completion.items()}
+    )
+
+    mem = GPUMemorySimulator(d_model=cfg.d_model, num_layers=4)
+    with_ec = mem.simulate(res.layout, completion, early_cleaning=True)
+    without = mem.simulate(res.layout, completion, early_cleaning=False)
+
+    print("early memory cleaning (slotted batch):")
+    print(f"  decode steps            : {with_ec.final_step}")
+    print(f"  completion steps        : {sorted(completion.values())}")
+    print(f"  resident byte-steps     : {with_ec.byte_steps:,} "
+          f"(vs {without.byte_steps:,} without cleaning)")
+    print(f"  savings                 : {with_ec.savings_ratio:.1%}")
+    print(f"  bytes freed early       : {with_ec.overlap_bytes:,} "
+          "(available for next-batch loading overlap)")
+
+
+def main() -> None:
+    speedup_curves()
+    early_cleaning_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Analysis utilities for experiment series.
+
+Helpers used by the benchmark suite and EXPERIMENTS.md generation:
+saturation detection (where a throughput curve flattens), gap/crossover
+computation between systems, and CSV/JSON export of series tables.
+"""
+
+from repro.analysis.curves import (
+    crossover_rate,
+    max_gap,
+    saturation_point,
+    saturated_value,
+)
+from repro.analysis.export import series_to_csv, series_to_json
+from repro.analysis.fairness import jain_index, service_rate_by_length
+from repro.analysis.ascii_plot import ascii_chart, sparkline
+
+__all__ = [
+    "saturation_point",
+    "saturated_value",
+    "max_gap",
+    "crossover_rate",
+    "series_to_csv",
+    "series_to_json",
+    "jain_index",
+    "service_rate_by_length",
+    "ascii_chart",
+    "sparkline",
+]

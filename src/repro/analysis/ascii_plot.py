@@ -1,0 +1,79 @@
+"""Terminal line charts for experiment series (no plotting deps).
+
+The environment is matplotlib-free, so the examples and the experiment
+runner draw figures as Unicode block charts::
+
+    DAS-TCB  ▁▂▃▅▆▇██
+    DAS-TTB  ▁▂▃▃▄▄▄▄
+
+:func:`sparkline` renders one series; :func:`ascii_chart` renders a
+labelled multi-series panel scaled to a shared y-range, which is enough
+to eyeball every curve shape the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["sparkline", "ascii_chart"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    *,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """One-line block chart of a numeric series."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    if hi <= lo:
+        return _BLOCKS[0] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1) + 0.5)
+        out.append(_BLOCKS[max(0, min(len(_BLOCKS) - 1, idx))])
+    return "".join(out)
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_key: Optional[str] = None,
+    title: str = "",
+    shared_scale: bool = True,
+) -> str:
+    """Multi-series panel: one sparkline per column, aligned labels.
+
+    ``x_key`` names a column to print as the x-axis legend instead of
+    charting it.  ``shared_scale`` plots all series on one y-range so
+    relative magnitudes are comparable.
+    """
+    cols = {k: [float(v) for v in vs] for k, vs in series.items() if k != x_key}
+    if not cols:
+        return title
+    lengths = {len(v) for v in cols.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have equal length")
+    lo = hi = None
+    if shared_scale:
+        flat = [v for vs in cols.values() for v in vs]
+        lo, hi = min(flat), max(flat)
+    width = max(len(k) for k in cols)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, vals in cols.items():
+        line = sparkline(vals, lo=lo, hi=hi)
+        peak = max(vals)
+        lines.append(f"{name.rjust(width)}  {line}  (max {peak:.2f})")
+    if x_key is not None and x_key in series:
+        xs = list(series[x_key])
+        lines.append(f"{'x'.rjust(width)}  {xs[0]} … {xs[-1]} ({x_key})")
+    return "\n".join(lines)

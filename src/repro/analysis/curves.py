@@ -1,0 +1,82 @@
+"""Curve analysis: saturation, gaps and crossovers.
+
+The paper's evaluation reasons about *saturation* ("the utility of TNB
+and TTB has no big change when there are more than 350 requests/second")
+and *maximum gaps* ("the maximum performance gaps ... are about 2.22×
+and 1.48×").  These helpers compute those quantities from the series
+dicts the experiment harnesses return.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["saturation_point", "saturated_value", "max_gap", "crossover_rate"]
+
+
+def saturation_point(
+    x: Sequence[float], y: Sequence[float], tolerance: float = 0.10
+) -> Optional[float]:
+    """First x beyond which y never grows by more than ``tolerance``.
+
+    Returns the saturation x-value, or ``None`` if the curve is still
+    growing at its last point.  ``tolerance`` is relative to the curve's
+    final value.
+    """
+    if len(x) != len(y):
+        raise ValueError("x and y must have equal length")
+    if len(y) < 2:
+        return None
+    final = y[-1]
+    if final <= 0:
+        return x[0]
+    for i in range(len(y)):
+        tail_max = max(y[i:])
+        if tail_max - y[i] <= tolerance * final:
+            return x[i]
+    return None
+
+
+def saturated_value(y: Sequence[float], last_k: int = 3) -> float:
+    """Mean of the last ``last_k`` points — the plateau height."""
+    if not y:
+        raise ValueError("empty series")
+    k = min(last_k, len(y))
+    return float(np.mean(list(y)[-k:]))
+
+
+def max_gap(numerator: Sequence[float], denominator: Sequence[float]) -> float:
+    """Maximum pointwise ratio between two aligned series."""
+    if len(numerator) != len(denominator):
+        raise ValueError("series must align")
+    ratios = [
+        n / d for n, d in zip(numerator, denominator) if d > 0
+    ]
+    if not ratios:
+        raise ValueError("denominator is zero everywhere")
+    return float(max(ratios))
+
+
+def crossover_rate(
+    x: Sequence[float], a: Sequence[float], b: Sequence[float]
+) -> Optional[float]:
+    """First x where series ``a`` overtakes series ``b`` (a > b).
+
+    Linear interpolation between samples; ``None`` if ``a`` never leads.
+    """
+    if not (len(x) == len(a) == len(b)):
+        raise ValueError("series must align")
+    for i in range(len(x)):
+        if a[i] > b[i]:
+            if i == 0:
+                return float(x[0])
+            # Interpolate between i-1 and i.
+            d_prev = a[i - 1] - b[i - 1]
+            d_here = a[i] - b[i]
+            if d_here == d_prev:
+                return float(x[i])
+            t = -d_prev / (d_here - d_prev)
+            return float(x[i - 1] + t * (x[i] - x[i - 1]))
+    return None

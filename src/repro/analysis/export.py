@@ -1,0 +1,40 @@
+"""Export experiment series as CSV or JSON."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Mapping, Sequence
+
+__all__ = ["series_to_csv", "series_to_json"]
+
+
+def _check(series: Mapping[str, Sequence[object]]) -> list[str]:
+    cols = list(series)
+    if not cols:
+        return cols
+    n = len(series[cols[0]])
+    for c in cols:
+        if len(series[c]) != n:
+            raise ValueError(f"column {c!r} length {len(series[c])} != {n}")
+    return cols
+
+
+def series_to_csv(series: Mapping[str, Sequence[object]]) -> str:
+    """Render a series dict as CSV text (header + rows)."""
+    cols = _check(series)
+    if not cols:
+        return ""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(cols)
+    for i in range(len(series[cols[0]])):
+        writer.writerow([series[c][i] for c in cols])
+    return buf.getvalue()
+
+
+def series_to_json(series: Mapping[str, Sequence[object]], indent: int = 2) -> str:
+    """Render a series dict as a JSON object of column arrays."""
+    _check(series)
+    return json.dumps({k: list(v) for k, v in series.items()}, indent=indent)

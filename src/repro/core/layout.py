@@ -1,0 +1,345 @@
+"""Batch layout descriptions for ConcatBatching.
+
+A *layout* records where each request lives inside a batch tensor:
+
+- a :class:`Segment` is one request's contiguous span inside a row,
+- a :class:`RowLayout` is one batch row (capacity ``L`` tokens) holding one
+  or more segments (NaiveBatching holds exactly one; ConcatBatching holds
+  many),
+- a :class:`SlotLayout` optionally subdivides a row into fixed-size slots
+  (slotted ConcatBatching, paper §4.2),
+- a :class:`BatchLayout` is the full ``B × L`` batch.
+
+Layouts are the single source of truth consumed by the mask builders
+(:mod:`repro.core.masks`), the separate positional encoding
+(:mod:`repro.core.positional`), the engines and the memory simulator.
+
+All index math here is plain Python (layouts are tiny — at most a few
+thousand segments); the hot numeric paths operate on the vectorised
+``segment_id_matrix`` / ``position_matrix`` this module produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.types import Request
+
+__all__ = ["Segment", "RowLayout", "SlotLayout", "BatchLayout"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One request's span within a batch row: ``[start, start + length)``."""
+
+    request: Request
+    start: int
+
+    @property
+    def length(self) -> int:
+        return self.request.length
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def positions(self) -> np.ndarray:
+        """Within-request positions ``0 .. length-1`` (separate PE)."""
+        return np.arange(self.length, dtype=np.int64)
+
+
+@dataclass
+class SlotLayout:
+    """A fixed-width slot inside a row (slotted ConcatBatching).
+
+    ``start``/``size`` are token offsets within the row.  Segments placed in
+    the slot must fit inside ``[start, start + size)``.
+    """
+
+    start: int
+    size: int
+    segments: list[Segment] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    @property
+    def used(self) -> int:
+        return sum(s.length for s in self.segments)
+
+    @property
+    def free(self) -> int:
+        return self.size - self.used
+
+    def can_fit(self, length: int) -> bool:
+        return length <= self.free
+
+    def add(self, request: Request) -> Segment:
+        if not self.can_fit(request.length):
+            raise ValueError(
+                f"request of length {request.length} does not fit in slot "
+                f"with {self.free} free tokens"
+            )
+        seg = Segment(request=request, start=self.start + self.used)
+        self.segments.append(seg)
+        return seg
+
+
+@dataclass
+class RowLayout:
+    """One batch row of capacity ``L`` tokens holding packed segments."""
+
+    capacity: int
+    segments: list[Segment] = field(default_factory=list)
+    slots: Optional[list[SlotLayout]] = None
+
+    @property
+    def used(self) -> int:
+        return sum(s.length for s in self.segments)
+
+    @property
+    def extent(self) -> int:
+        """Highest occupied token index + 1 (≥ ``used`` under slotting,
+        where segments sit at slot offsets and need not be contiguous)."""
+        return max((s.end for s in self.segments), default=0)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def padding(self) -> int:
+        """Padded (wasted) token positions in this row at width=capacity."""
+        return self.free
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.segments)
+
+    def can_fit(self, length: int) -> bool:
+        return length <= self.free
+
+    def add(self, request: Request) -> Segment:
+        """Append a request at the current end of the row."""
+        if not self.can_fit(request.length):
+            raise ValueError(
+                f"request of length {request.length} does not fit in row "
+                f"with {self.free} free tokens"
+            )
+        seg = Segment(request=request, start=self.used)
+        self.segments.append(seg)
+        return seg
+
+    def requests(self) -> list[Request]:
+        return [s.request for s in self.segments]
+
+    def validate(self) -> None:
+        """Check non-overlap, ordering and capacity invariants."""
+        pos = 0
+        for seg in sorted(self.segments, key=lambda s: s.start):
+            if seg.start < pos:
+                raise ValueError("overlapping segments in row")
+            pos = seg.end
+        if pos > self.capacity:
+            raise ValueError(
+                f"segments extend to {pos} > row capacity {self.capacity}"
+            )
+        if self.slots is not None:
+            for slot in self.slots:
+                if slot.end > self.capacity:
+                    raise ValueError("slot extends past row capacity")
+                for seg in slot.segments:
+                    if seg.start < slot.start or seg.end > slot.end:
+                        raise ValueError("segment escapes its slot")
+
+
+@dataclass
+class BatchLayout:
+    """A full batch: ``num_rows`` rows of ``row_length`` tokens each.
+
+    The layout is *scheme-agnostic*: NaiveBatching produces one segment per
+    row, TurboBatching produces one segment per row with a reduced width,
+    and ConcatBatching produces many segments per row (optionally grouped
+    in slots).  Downstream code (masks, PE, engines, memory accounting)
+    only ever reads the layout.
+    """
+
+    num_rows: int
+    row_length: int
+    rows: list[RowLayout] = field(default_factory=list)
+    scheme: str = "concat"
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            self.rows = [
+                RowLayout(capacity=self.row_length) for _ in range(self.num_rows)
+            ]
+        if len(self.rows) != self.num_rows:
+            raise ValueError(
+                f"{len(self.rows)} rows provided for num_rows={self.num_rows}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+
+    def __iter__(self) -> Iterator[RowLayout]:
+        return iter(self.rows)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.row_length)
+
+    def requests(self) -> list[Request]:
+        """All packed requests in row-major order."""
+        return [seg.request for row in self.rows for seg in row.segments]
+
+    def segments(self) -> list[tuple[int, Segment]]:
+        """All ``(row_index, segment)`` pairs in row-major order."""
+        return [(k, seg) for k, row in enumerate(self.rows) for seg in row.segments]
+
+    @property
+    def num_requests(self) -> int:
+        return sum(row.num_requests for row in self.rows)
+
+    @property
+    def useful_tokens(self) -> int:
+        return sum(row.used for row in self.rows)
+
+    @property
+    def padded_tokens(self) -> int:
+        """Padding at the batch's *effective* width (see ``effective_width``)."""
+        w = self.effective_width
+        return self.num_rows * w - self.useful_tokens
+
+    @property
+    def effective_width(self) -> int:
+        """Width the batch tensor is actually materialised at.
+
+        NaiveBatching pads to the longest request, not to ``row_length``;
+        ConcatBatching rows are trimmed to the widest row's occupied
+        extent (which, under slotting, can exceed its token count).
+        """
+        return max((row.extent for row in self.rows), default=0)
+
+    @property
+    def padding_ratio(self) -> float:
+        total = self.num_rows * self.effective_width
+        return 0.0 if total == 0 else self.padded_tokens / total
+
+    def validate(self) -> None:
+        for row in self.rows:
+            row.validate()
+        seen: set[int] = set()
+        for req in self.requests():
+            if req.request_id in seen:
+                raise ValueError(f"request {req.request_id} packed twice")
+            seen.add(req.request_id)
+
+    # ------------------------------------------------------------------ #
+    # Vectorised views consumed by the numeric code
+    # ------------------------------------------------------------------ #
+
+    def segment_id_matrix(self, width: Optional[int] = None) -> np.ndarray:
+        """``(B, W)`` int matrix mapping each token position to a request.
+
+        Entries are the *request id* of the segment covering the position,
+        or ``-1`` for padding.  This is the canonical input for the mask
+        builders: two positions attend to each other iff their entries are
+        equal and non-negative.
+        """
+        w = self.effective_width if width is None else width
+        out = np.full((self.num_rows, w), -1, dtype=np.int64)
+        for k, row in enumerate(self.rows):
+            for seg in row.segments:
+                out[k, seg.start : seg.end] = seg.request.request_id
+        return out
+
+    def position_matrix(self, width: Optional[int] = None) -> np.ndarray:
+        """``(B, W)`` matrix of *separate* positional-encoding positions.
+
+        Each segment restarts at position 0 (paper §4.1.1, Fig. 5b).
+        Padding positions get position 0 (they are masked out anyway).
+        """
+        w = self.effective_width if width is None else width
+        out = np.zeros((self.num_rows, w), dtype=np.int64)
+        for k, row in enumerate(self.rows):
+            for seg in row.segments:
+                out[k, seg.start : seg.end] = np.arange(seg.length)
+        return out
+
+    def naive_position_matrix(self, width: Optional[int] = None) -> np.ndarray:
+        """``(B, W)`` matrix of *traditional* row-wise positions (Fig. 5a).
+
+        Used to demonstrate why the default PE is wrong under
+        concatenation; every position in a row is numbered consecutively
+        regardless of segment boundaries.
+        """
+        w = self.effective_width if width is None else width
+        return np.tile(np.arange(w, dtype=np.int64), (self.num_rows, 1))
+
+    def token_matrix(
+        self, width: Optional[int] = None, pad_token: int = 0
+    ) -> np.ndarray:
+        """``(B, W)`` token-id matrix.  Requires every request to carry tokens."""
+        w = self.effective_width if width is None else width
+        out = np.full((self.num_rows, w), pad_token, dtype=np.int64)
+        for k, row in enumerate(self.rows):
+            for seg in row.segments:
+                if seg.request.tokens is None:
+                    raise ValueError(
+                        f"request {seg.request.request_id} has no tokens; "
+                        "real-execution engines need concrete token ids"
+                    )
+                out[k, seg.start : seg.end] = np.asarray(
+                    seg.request.tokens, dtype=np.int64
+                )
+        return out
+
+    def slot_boundaries(self) -> list[list[tuple[int, int]]]:
+        """Per-row ``(start, end)`` slot spans; one whole-row slot if unslotted."""
+        out: list[list[tuple[int, int]]] = []
+        for row in self.rows:
+            if row.slots:
+                out.append([(s.start, s.end) for s in row.slots])
+            else:
+                out.append([(0, self.effective_width)])
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Constructors for the baseline schemes
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def naive(requests: Sequence[Request], num_rows: Optional[int] = None) -> "BatchLayout":
+        """NaiveBatching (TNB): one request per row, padded to the longest."""
+        reqs = list(requests)
+        if not reqs:
+            raise ValueError("cannot build a layout from zero requests")
+        b = len(reqs) if num_rows is None else num_rows
+        if b < len(reqs):
+            raise ValueError(f"{len(reqs)} requests do not fit in {b} rows")
+        width = max(r.length for r in reqs)
+        layout = BatchLayout(num_rows=b, row_length=width, scheme="naive")
+        for row, req in zip(layout.rows, reqs):
+            row.add(req)
+        return layout
+
+    @staticmethod
+    def single_per_row(
+        requests: Sequence[Request], row_length: int
+    ) -> "BatchLayout":
+        """One request per row at a fixed row width (used by TTB groups)."""
+        reqs = list(requests)
+        if any(r.length > row_length for r in reqs):
+            raise ValueError("a request exceeds the row length")
+        layout = BatchLayout(
+            num_rows=len(reqs), row_length=row_length, scheme="turbo"
+        )
+        for row, req in zip(layout.rows, reqs):
+            row.add(req)
+        return layout

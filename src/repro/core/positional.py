@@ -1,0 +1,101 @@
+"""Sinusoidal positional encoding with *separate* per-request positions.
+
+The paper (§4.1.1) keeps the standard sinusoidal encoding of Vaswani et
+al. (Eqs. 1–2) but restarts the position counter at the beginning of every
+concatenated request, because words of different sentences sharing a batch
+row have no order relationship (Fig. 5).
+
+The implementation is a table lookup: :func:`sinusoidal_encoding` builds
+the ``(max_len, d_model)`` table once, and
+:func:`sinusoidal_positional_encoding` gathers rows of the table by an
+arbitrary ``(B, W)`` *position matrix* — the traditional scheme passes
+``0,1,2,...`` per row, the separate scheme passes the layout's
+per-segment positions.  Gathering is a single fancy-index, so both
+schemes cost the same.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.layout import BatchLayout
+
+__all__ = [
+    "sinusoidal_encoding",
+    "sinusoidal_positional_encoding",
+    "separate_positions",
+    "encode_layout",
+]
+
+
+def sinusoidal_encoding(max_len: int, d_model: int) -> np.ndarray:
+    """The ``(max_len, d_model)`` sinusoid table (paper Eqs. 1–2).
+
+    ``PE[pos, 2e] = sin(pos / 10000^(2e/d))`` and
+    ``PE[pos, 2e+1] = cos(pos / 10000^(2e/d))`` — the standard pairing
+    where each sin/cos pair shares a frequency.
+    """
+    if max_len < 1 or d_model < 1:
+        raise ValueError("max_len and d_model must be >= 1")
+    position = np.arange(max_len, dtype=np.float64)[:, None]
+    dim = np.arange(0, d_model, 2, dtype=np.float64)[None, :]
+    angle = position / np.power(10000.0, dim / d_model)
+    table = np.zeros((max_len, d_model), dtype=np.float64)
+    table[:, 0::2] = np.sin(angle)
+    half = table[:, 1::2].shape[1]
+    table[:, 1::2] = np.cos(angle[:, :half])
+    return table
+
+
+def sinusoidal_positional_encoding(
+    positions: np.ndarray, d_model: int, table: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Gather PE vectors for an arbitrary ``(B, W)`` position matrix.
+
+    Returns ``(B, W, d_model)``.  A precomputed ``table`` may be supplied
+    to amortise the trig across calls.
+    """
+    pos = np.asarray(positions, dtype=np.int64)
+    if pos.min(initial=0) < 0:
+        raise ValueError("positions must be non-negative")
+    if table is None:
+        table = sinusoidal_encoding(int(pos.max(initial=0)) + 1, d_model)
+    elif table.shape[1] != d_model:
+        raise ValueError(
+            f"table has d_model={table.shape[1]}, expected {d_model}"
+        )
+    elif int(pos.max(initial=0)) >= table.shape[0]:
+        raise ValueError(
+            f"position {int(pos.max())} out of range for table of "
+            f"{table.shape[0]} rows"
+        )
+    return table[pos]
+
+
+def separate_positions(layout: BatchLayout, width: Optional[int] = None) -> np.ndarray:
+    """Per-request position matrix for a layout (Fig. 5b)."""
+    return layout.position_matrix(width)
+
+
+def encode_layout(
+    layout: BatchLayout,
+    d_model: int,
+    *,
+    separate: bool = True,
+    width: Optional[int] = None,
+    table: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """PE tensor ``(B, W, d_model)`` for a batch layout.
+
+    ``separate=True`` is TCB's scheme (positions restart per segment);
+    ``separate=False`` is the traditional row-wise scheme, provided to
+    demonstrate the correctness failure it causes under concatenation.
+    """
+    positions = (
+        layout.position_matrix(width)
+        if separate
+        else layout.naive_position_matrix(width)
+    )
+    return sinusoidal_positional_encoding(positions, d_model, table)

@@ -1,0 +1,104 @@
+"""ASCII rendering of batch layouts and attention masks.
+
+Reproduces the paper's explanatory figures as terminal art — Fig. 1's
+batching schemes, Fig. 5's positional encodings and Eq. 6's mask — for
+debugging layouts and for the examples/documentation.
+
+Conventions:
+
+- each request is drawn with a distinct letter (``a``, ``b``, ...),
+- padding is ``.``; slot boundaries are ``|``,
+- masks render ``#`` where attention is allowed and ``.`` where the
+  additive mask is −∞.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Optional
+
+import numpy as np
+
+from repro.core.layout import BatchLayout
+from repro.core.masks import NEG_INF
+
+__all__ = ["render_layout", "render_mask", "render_positions", "request_letters"]
+
+_LETTERS = string.ascii_lowercase + string.ascii_uppercase + string.digits
+
+
+def request_letters(layout: BatchLayout) -> dict[int, str]:
+    """Stable request-id → letter mapping (row-major discovery order)."""
+    mapping: dict[int, str] = {}
+    for _, seg in layout.segments():
+        rid = seg.request.request_id
+        if rid not in mapping:
+            mapping[rid] = _LETTERS[len(mapping) % len(_LETTERS)]
+    return mapping
+
+
+def render_layout(
+    layout: BatchLayout,
+    *,
+    width: Optional[int] = None,
+    show_slots: bool = True,
+) -> str:
+    """Draw the batch as rows of letters (one char per token position).
+
+    ::
+
+        row 0 | aaaa bbb .. |
+        row 1 | ccccc ..... |
+    """
+    w = layout.effective_width if width is None else width
+    letters = request_letters(layout)
+    lines = []
+    for k, row in enumerate(layout.rows):
+        cells = ["."] * w
+        for seg in row.segments:
+            for i in range(seg.start, min(seg.end, w)):
+                cells[i] = letters[seg.request.request_id]
+        if show_slots and row.slots:
+            # Insert slot boundaries (rendered between cells).
+            marks = {s.end for s in row.slots if 0 < s.end < w}
+            rendered = "".join(
+                c + ("|" if i + 1 in marks else "") for i, c in enumerate(cells)
+            )
+        else:
+            rendered = "".join(cells)
+        lines.append(f"row {k}: {rendered}")
+    return "\n".join(lines)
+
+
+def render_positions(layout: BatchLayout, *, separate: bool = True) -> str:
+    """Draw the positional-encoding indices per row (Fig. 5).
+
+    ``separate=True`` shows TCB's restart-per-request positions;
+    ``separate=False`` the traditional row-wise numbering.
+    """
+    pos = (
+        layout.position_matrix() if separate else layout.naive_position_matrix()
+    )
+    seg = layout.segment_id_matrix()
+    lines = []
+    for k in range(pos.shape[0]):
+        cells = [
+            f"{pos[k, i]:x}" if seg[k, i] >= 0 else "."
+            for i in range(pos.shape[1])
+        ]
+        lines.append(f"row {k}: {''.join(cells)}")
+    return "\n".join(lines)
+
+
+def render_mask(mask: np.ndarray, row: int = 0) -> str:
+    """Draw one row's (W × W) additive mask: ``#`` allowed, ``.`` masked."""
+    m = np.asarray(mask)
+    if m.ndim == 3:
+        m = m[row]
+    if m.ndim != 2:
+        raise ValueError(f"expected (W, W) or (B, W, W), got shape {mask.shape}")
+    allowed = m > NEG_INF / 2
+    return "\n".join(
+        "".join("#" if allowed[i, j] else "." for j in range(m.shape[1]))
+        for i in range(m.shape[0])
+    )

@@ -1,0 +1,44 @@
+"""Inference engines implementing the paper's batching schemes.
+
+Every engine consumes the *same* scheduler output (a list of requests
+picked for one engine slot) and differs only in how it lays the requests
+out on the (simulated or real) accelerator:
+
+- :class:`~repro.engine.naive.NaiveEngine` — TNB: one request per row,
+  zero-padded to the longest request (PyTorch default, Fig. 1a),
+- :class:`~repro.engine.turbo.TurboEngine` — TTB: TurboTransformers'
+  length-aware dynamic-programming batch splitter (Fig. 1b),
+- :class:`~repro.engine.concat.ConcatEngine` — pure ConcatBatching
+  (Fig. 1c, §4.1),
+- :class:`~repro.engine.slotted.SlottedConcatEngine` — slotted
+  ConcatBatching with early memory cleaning (§4.2).
+
+Engines run in one of two modes:
+
+- ``"cost"`` — latency comes from the analytic
+  :class:`~repro.engine.cost_model.GPUCostModel` (paper-scale sweeps),
+- ``"measured"`` — the real NumPy transformer is executed and wall-clock
+  timed (small-scale validation).
+"""
+
+from repro.engine.base import BatchResult, EngineMode, InferenceEngine
+from repro.engine.cost_model import GPUCostModel
+from repro.engine.memory import GPUMemorySimulator, MemoryReport
+from repro.engine.naive import NaiveEngine
+from repro.engine.turbo import TurboEngine, dp_split
+from repro.engine.concat import ConcatEngine
+from repro.engine.slotted import SlottedConcatEngine
+
+__all__ = [
+    "BatchResult",
+    "EngineMode",
+    "InferenceEngine",
+    "GPUCostModel",
+    "GPUMemorySimulator",
+    "MemoryReport",
+    "NaiveEngine",
+    "TurboEngine",
+    "dp_split",
+    "ConcatEngine",
+    "SlottedConcatEngine",
+]

@@ -1,0 +1,67 @@
+"""AdaptiveEngine: pick the cheapest batching plan per engine slot.
+
+The paper notes TurboTransformers' optimisations "are orthogonal to our
+work [and] can also be applied in TCB for further performance
+improvement" (§6.1).  This engine operationalises that: for each slot's
+request set it *plans* with several candidate schemes — pure
+ConcatBatching, slotted ConcatBatching at a few slot sizes, and the
+TurboBatching DP split — prices each plan with the cost model, and
+executes the cheapest one that serves every request.
+
+Plans that reject requests are only chosen if no complete plan exists
+(then the one serving the most requests at the lowest per-request cost
+wins).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.layout import BatchLayout
+from repro.engine.base import InferenceEngine
+from repro.engine.concat import ConcatEngine
+from repro.engine.slotted import SlottedConcatEngine
+from repro.engine.turbo import TurboEngine
+from repro.types import Request
+
+__all__ = ["AdaptiveEngine"]
+
+
+class AdaptiveEngine(InferenceEngine):
+    name = "adaptive"
+
+    def __init__(self, *args, slot_counts: Sequence[int] = (2, 4, 8), **kwargs):
+        super().__init__(*args, **kwargs)
+        self.slot_counts = tuple(slot_counts)
+        common = dict(mode=self.mode, cost_model=self.cost_model)
+        self._candidates: list[InferenceEngine] = [
+            ConcatEngine(self.batch, **common),
+            TurboEngine(self.batch, **common),
+            *(
+                SlottedConcatEngine(self.batch, num_slots=n, **common)
+                for n in self.slot_counts
+            ),
+        ]
+        self.last_choice: Optional[str] = None
+
+    def plan(
+        self, requests: Sequence[Request]
+    ) -> tuple[list[BatchLayout], list[Request]]:
+        best: Optional[tuple[float, list[BatchLayout], list[Request], str]] = None
+        n = len(requests)
+        for engine in self._candidates:
+            layouts, rejected = engine.plan(requests)
+            served = n - len(rejected)
+            if served == 0:
+                continue
+            cost = sum(self.cost_model.layout_time(l) for l in layouts)
+            per_request = cost / served
+            # Lexicographic preference: serve more requests first, then
+            # cheaper per served request.
+            key = (-served, per_request)
+            if best is None or key < (-(n - len(best[2])), best[0]):
+                best = (per_request, layouts, rejected, engine.name)
+        if best is None:
+            return [], list(requests)
+        self.last_choice = best[3]
+        return best[1], best[2]

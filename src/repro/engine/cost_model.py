@@ -1,0 +1,204 @@
+"""Analytic GPU latency model for transformer batch inference.
+
+The paper's evaluation runs on a V100; we do not have one, so serving-
+scale benchmarks use this calibrated cost model instead (see DESIGN.md's
+substitution table).  The model keeps exactly the terms TCB's claims rest
+on:
+
+``latency(batch) = fixed + linear + attention (+ decode)``
+
+- **fixed** — per-batch overhead: kernel launches, framework dispatch,
+  H2D/D2H staging.  This is what makes many small TurboBatching groups
+  more expensive than their token count suggests.
+- **linear** — token-proportional work: QKV/output projections and the
+  FFN.  Scales with *computed* (useful + padded) tokens, which is where
+  zero-padding hurts.
+- **attention** — the score/softmax/AV kernels.  Work is
+  ``B · Σ_slots z_i²`` score entries (quadratic in slot width — the
+  redundancy slotted ConcatBatching removes), but the kernel is *floor-
+  limited*: below a certain size the GPU is latency-bound, not
+  throughput-bound, so shrinking the work does not shrink the time.  The
+  floor is what makes slotting pay off more at batch 32 than at batch 10
+  (paper Figs. 13–14).
+- **slot overhead** — per extra slot kernel launch.
+- **decode** — autoregressive decoding modelled as a multiplicative
+  factor over the encode pass (the paper's serving figures do not resolve
+  decode internals).
+
+Default constants come from :meth:`GPUCostModel.calibrated`, fitted so the
+paper's *relative* results hold (see ``tests/test_cost_model.py`` and
+EXPERIMENTS.md); absolute seconds are not meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Sequence
+
+from repro.core.layout import BatchLayout
+
+__all__ = ["GPUCostModel"]
+
+
+@dataclass(frozen=True)
+class GPUCostModel:
+    """Latency model; all times in seconds.
+
+    Attributes
+    ----------
+    fixed_per_batch:
+        Constant cost of launching one batch through the whole model.
+    per_token:
+        Linear (projection + FFN) cost per computed token, whole model.
+    attn_rate:
+        Attention throughput in score-entries/second (whole model);
+        attention work for a batch is ``Σ_rows Σ_slots z²`` entries.
+    attn_floor:
+        Minimum latency of the attention pass regardless of how little
+        work it does (GPU latency-bound regime).
+    per_slot:
+        Extra launch overhead per additional slot kernel.
+    decode_factor:
+        Decode cost as a multiple of the encode pass.
+    """
+
+    fixed_per_batch: float = 0.05
+    per_token: float = 1.25e-4
+    attn_rate: float = 1.6e6
+    attn_floor: float = 0.375
+    per_slot: float = 0.01
+    decode_factor: float = 0.25
+
+    # ------------------------------------------------------------------ #
+    # Component costs
+    # ------------------------------------------------------------------ #
+
+    def linear_time(self, computed_tokens: int) -> float:
+        """Projection + FFN time for ``computed_tokens`` positions."""
+        if computed_tokens < 0:
+            raise ValueError("computed_tokens must be >= 0")
+        return self.per_token * computed_tokens
+
+    def attention_time(self, score_entries: int, num_slots: int = 1) -> float:
+        """Attention-pass time for ``score_entries`` total QKᵀ entries.
+
+        All slots of a batch are launched together (they run in parallel
+        on the GPU, Fig. 7), so the floor applies once; extra slots only
+        add ``per_slot`` launch overhead each.
+        """
+        if score_entries < 0:
+            raise ValueError("score_entries must be >= 0")
+        if num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+        work = score_entries / self.attn_rate
+        return max(self.attn_floor, work) + self.per_slot * (num_slots - 1)
+
+    # ------------------------------------------------------------------ #
+    # Batch-level costs
+    # ------------------------------------------------------------------ #
+
+    def encode_time(
+        self,
+        computed_tokens: int,
+        score_entries: int,
+        num_slots: int = 1,
+    ) -> float:
+        return (
+            self.fixed_per_batch
+            + self.linear_time(computed_tokens)
+            + self.attention_time(score_entries, num_slots)
+        )
+
+    def batch_time(
+        self,
+        computed_tokens: int,
+        score_entries: int,
+        num_slots: int = 1,
+        *,
+        include_decode: bool = True,
+    ) -> float:
+        enc = self.encode_time(computed_tokens, score_entries, num_slots)
+        return enc * (1.0 + self.decode_factor) if include_decode else enc
+
+    def decode_step_time(self, active_requests: int, context_tokens: int) -> float:
+        """One auto-regressive decode step for a running batch.
+
+        Used by iteration-level (continuous-batching) serving: each step
+        computes one new token per active request, attending over
+        ``context_tokens`` of resident context.  Modelled as a small
+        fixed launch cost plus token-linear work for the new tokens plus
+        attention reads over the context (linear, not quadratic — one
+        query row per request).
+        """
+        if active_requests < 0 or context_tokens < 0:
+            raise ValueError("active_requests and context_tokens must be >= 0")
+        if active_requests == 0:
+            return 0.0
+        launch = self.fixed_per_batch * 0.2
+        linear = self.per_token * active_requests
+        attn_reads = context_tokens / self.attn_rate
+        return launch + linear + max(self.attn_floor * 0.2, attn_reads)
+
+    def prefill_time(self, computed_tokens: int, score_entries: int) -> float:
+        """Prompt-processing (encode) time for newly admitted requests."""
+        return self.encode_time(computed_tokens, score_entries, 1)
+
+    def layout_time(
+        self, layout: BatchLayout, *, include_decode: bool = True
+    ) -> float:
+        """Latency of executing one :class:`BatchLayout`.
+
+        The computed width is the layout's effective width (e.g. naive
+        batches are padded to the longest request, not to the row
+        capacity); attention work follows the layout's slot structure.
+        """
+        w = layout.effective_width
+        tokens = layout.num_rows * w
+        entries = 0
+        num_slots = 0
+        for spans in layout.slot_boundaries():
+            for a, b in spans:
+                z = min(b, w) - min(a, w)
+                if z > 0:
+                    entries += z * z
+                    num_slots += 1
+        num_slots = max(1, num_slots // max(1, layout.num_rows))
+        return self.batch_time(
+            tokens, entries, num_slots, include_decode=include_decode
+        )
+
+    # ------------------------------------------------------------------ #
+    # Calibration
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def calibrated() -> "GPUCostModel":
+        """Constants fitted to the paper's relative results.
+
+        Fitted (see ``benchmarks/`` and EXPERIMENTS.md) so that, with the
+        paper's workloads:
+
+        - slotted speedup grows with batch size and plateaus around 7
+          slots: ~1.6× at batch 10 and ~2.2× at batch 32 (paper: 1.18× /
+          2.31× — Figs. 13–14; the ordering and plateau location hold,
+          the batch-10 gain is compressed less than on real hardware),
+        - saturated FCFS throughput gaps: ≈3.4× TCB/TNB (paper 3.33×)
+          and ≈1.5× TTB/TNB, widening with length variance (Figs. 11–12).
+
+        No single 6-constant model reproduces every absolute factor at
+        once (the V100's occupancy behaviour is richer); these constants
+        prioritise orderings, crossovers and plateau locations.  See
+        EXPERIMENTS.md for measured-vs-paper numbers.
+        """
+        return GPUCostModel(
+            fixed_per_batch=0.05,
+            per_token=1.25e-4,
+            attn_rate=1.6e6,
+            attn_floor=0.375,
+            per_slot=0.01,
+            decode_factor=0.25,
+        )
+
+    def with_(self, **kwargs) -> "GPUCostModel":
+        """Return a copy with selected constants replaced."""
+        return replace(self, **kwargs)

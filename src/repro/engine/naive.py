@@ -1,0 +1,37 @@
+"""TNB — Transformer with NaiveBatching (paper §6.1, Fig. 1a).
+
+The PyTorch-default scheme: each batch holds up to ``B`` requests, one
+per row, zero-padded to the longest request in that batch.  A slot's
+request set larger than ``B`` is executed as consecutive naive batches
+(the slot simply takes longer — this is how the paper's "feed TNB the
+same scheduling results" comparison stays fair).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.layout import BatchLayout
+from repro.engine.base import InferenceEngine
+from repro.types import Request
+
+__all__ = ["NaiveEngine"]
+
+
+class NaiveEngine(InferenceEngine):
+    name = "naive"
+
+    def plan(
+        self, requests: Sequence[Request]
+    ) -> tuple[list[BatchLayout], list[Request]]:
+        reqs = [r for r in requests if r.length <= self.batch.row_length]
+        rejected = [r for r in requests if r.length > self.batch.row_length]
+        # A naive server batches requests as they arrived — it performs no
+        # length-aware reordering (that is exactly TurboBatching's edge).
+        reqs.sort(key=lambda r: (r.arrival, r.request_id))
+        layouts: list[BatchLayout] = []
+        b = self.batch.num_rows
+        for i in range(0, len(reqs), b):
+            chunk = reqs[i : i + b]
+            layouts.append(BatchLayout.naive(chunk))
+        return layouts, rejected

@@ -1,0 +1,95 @@
+"""TTB — Transformer with TurboBatching (paper §6.1, Fig. 1b).
+
+Reimplements TurboTransformers' length-aware batching [Fang et al.,
+PPoPP'21]: requests are sorted by length and split into contiguous
+groups by a dynamic program that minimises total execution cost, where a
+group of ``b`` requests padded to its longest member ``W`` costs
+
+``cost(group) = fixed + b · W · per_token  (+ attention term)``
+
+— i.e. the DP trades the per-batch fixed overhead against the padding
+each merge introduces.  Group size is capped at the configured batch
+rows ``B``.
+
+The DP is exact (O(n²) over n requests, with the cap making the inner
+loop O(B)) and is validated against brute-force enumeration in
+``tests/test_turbo.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core.layout import BatchLayout
+from repro.engine.base import InferenceEngine
+from repro.engine.cost_model import GPUCostModel
+from repro.types import Request
+
+__all__ = ["TurboEngine", "dp_split"]
+
+
+def dp_split(
+    lengths: Sequence[int],
+    cost_fn: Callable[[int, int], float],
+    max_group: Optional[int] = None,
+) -> list[tuple[int, int]]:
+    """Optimal contiguous partition of *sorted* ``lengths``.
+
+    ``cost_fn(count, width)`` is the execution cost of a group of
+    ``count`` requests padded to ``width``.  Returns ``(start, end)``
+    index pairs covering ``[0, n)``.  Raises if ``lengths`` is not
+    non-decreasing (the DP's optimality argument needs sorted input).
+    """
+    n = len(lengths)
+    if n == 0:
+        return []
+    if any(lengths[i] > lengths[i + 1] for i in range(n - 1)):
+        raise ValueError("dp_split requires non-decreasing lengths")
+    cap = n if max_group is None else max_group
+    if cap < 1:
+        raise ValueError("max_group must be >= 1")
+
+    best = [0.0] + [float("inf")] * n  # best[i] = min cost of first i
+    cut = [0] * (n + 1)
+    for i in range(1, n + 1):
+        # Group is lengths[j:i], width = lengths[i-1] (sorted).
+        width = lengths[i - 1]
+        for j in range(max(0, i - cap), i):
+            c = best[j] + cost_fn(i - j, width)
+            if c < best[i]:
+                best[i] = c
+                cut[i] = j
+    groups: list[tuple[int, int]] = []
+    i = n
+    while i > 0:
+        j = cut[i]
+        groups.append((j, i))
+        i = j
+    groups.reverse()
+    return groups
+
+
+class TurboEngine(InferenceEngine):
+    name = "turbo"
+
+    def group_cost(self, count: int, width: int) -> float:
+        """Cost of one padded group under the engine's cost model."""
+        cm: GPUCostModel = self.cost_model
+        return cm.batch_time(count * width, count * width * width, 1)
+
+    def plan(
+        self, requests: Sequence[Request]
+    ) -> tuple[list[BatchLayout], list[Request]]:
+        reqs = [r for r in requests if r.length <= self.batch.row_length]
+        rejected = [r for r in requests if r.length > self.batch.row_length]
+        reqs.sort(key=lambda r: r.length)
+        if not reqs:
+            return [], rejected
+        lengths = [r.length for r in reqs]
+        groups = dp_split(lengths, self.group_cost, max_group=self.batch.num_rows)
+        layouts = [
+            BatchLayout.naive(reqs[a:b]) for a, b in groups
+        ]
+        for layout in layouts:
+            layout.scheme = "turbo"
+        return layouts, rejected

@@ -1,0 +1,45 @@
+"""One harness per table/figure of the paper's evaluation (§6.2).
+
+Each ``figXX`` module exposes a ``run_*`` function that regenerates the
+corresponding figure's series (same x-axis points, same systems) and
+returns plain dicts, so the benchmark suite, the examples and
+EXPERIMENTS.md all share a single implementation.
+
+Figure index (see DESIGN.md for the full mapping):
+
+- :func:`run_fig09_utility`  / :func:`run_fig10_throughput` — DAS-fed
+  utility / throughput vs arrival rate,
+- :func:`run_fig11_fig12_fcfs` — FCFS throughput vs rate at σ=20 / σ=100,
+- :func:`run_fig13_fig14_slot_speedup` — slotted speedup vs #slots,
+- :func:`run_fig15a_batch_size` / :func:`run_fig15b_variance` /
+  :func:`run_fig15c_row_length` — scheduler comparison sweeps,
+- :func:`run_fig16_overhead` — DAS runtime / batch time ratio.
+"""
+
+from repro.experiments.serving_sweeps import (
+    run_fig09_utility,
+    run_fig10_throughput,
+    run_fig11_fig12_fcfs,
+    serving_point,
+)
+from repro.experiments.slot_speedup import run_fig13_fig14_slot_speedup
+from repro.experiments.scheduler_comparison import (
+    run_fig15a_batch_size,
+    run_fig15b_variance,
+    run_fig15c_row_length,
+)
+from repro.experiments.overhead import run_fig16_overhead
+from repro.experiments.tables import format_series_table
+
+__all__ = [
+    "serving_point",
+    "run_fig09_utility",
+    "run_fig10_throughput",
+    "run_fig11_fig12_fcfs",
+    "run_fig13_fig14_slot_speedup",
+    "run_fig15a_batch_size",
+    "run_fig15b_variance",
+    "run_fig15c_row_length",
+    "run_fig16_overhead",
+    "format_series_table",
+]

@@ -1,0 +1,55 @@
+"""Fig. 16: DAS scheduling overhead relative to batch inference time.
+
+The paper measures the wall-clock running time of the DAS algorithm and
+reports its ratio to a single batch's inference time across arrival
+rates 100–400 req/s (≈2% at 400 req/s).  DAS runs on the host CPU here
+exactly as it would in the real system, so this figure is *measured*,
+not modelled: only the denominator (batch inference time) comes from the
+cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import BatchConfig
+from repro.engine.concat import ConcatEngine
+from repro.engine.cost_model import GPUCostModel
+from repro.scheduling.das import DASScheduler
+from repro.serving.simulator import ServingSimulator
+from repro.experiments.serving_sweeps import make_workload
+
+__all__ = ["PAPER_OVERHEAD_RATES", "run_fig16_overhead"]
+
+PAPER_OVERHEAD_RATES = (100, 200, 300, 400)
+
+
+def run_fig16_overhead(
+    rates: Sequence[float] = PAPER_OVERHEAD_RATES,
+    *,
+    batch: Optional[BatchConfig] = None,
+    horizon: float = 10.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    cost_model: Optional[GPUCostModel] = None,
+) -> dict[str, list[float]]:
+    """DAS runtime as a percentage of single-batch inference time."""
+    if batch is None:
+        batch = BatchConfig(num_rows=64, row_length=100)
+    cm = cost_model or GPUCostModel.calibrated()
+    ratios = []
+    for rate in rates:
+        sched_time = 0.0
+        engine_time = 0.0
+        batches = 0
+        for seed in seeds:
+            sim = ServingSimulator(
+                DASScheduler(batch), ConcatEngine(batch, cost_model=cm)
+            )
+            m = sim.run(make_workload(rate, horizon=horizon, seed=seed)).metrics
+            sched_time += m.total_scheduler_time
+            engine_time += m.total_engine_time
+            batches += m.num_batches
+        mean_sched = sched_time / max(batches, 1)
+        mean_batch = engine_time / max(batches, 1)
+        ratios.append(100.0 * mean_sched / mean_batch if mean_batch > 0 else 0.0)
+    return {"rate": list(rates), "overhead_percent": ratios}

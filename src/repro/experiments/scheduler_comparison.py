@@ -1,0 +1,146 @@
+"""Fig. 15: DAS vs SJF/FCFS/DEF on the TCB engine.
+
+All four policies drive the *same* ConcatBatching engine (§6.2.4 —
+"we use the same TCB inference engine for all algorithms"); the sweeps
+vary (a) batch size {5, 10, 16}, (b) length spread {10, 50, 100} at
+batch 16, and (c) batch row length {100, 200, 300}.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import BatchConfig, SchedulerConfig
+from repro.engine.base import InferenceEngine
+from repro.engine.concat import ConcatEngine
+from repro.engine.cost_model import GPUCostModel
+from repro.engine.slotted import SlottedConcatEngine
+from repro.scheduling.base import Scheduler
+from repro.scheduling.baselines import DEFScheduler, FCFSScheduler, SJFScheduler
+from repro.scheduling.das import DASScheduler
+from repro.scheduling.slotted_das import SlottedDASScheduler
+from repro.serving.simulator import ServingSimulator
+from repro.experiments.serving_sweeps import make_workload
+
+__all__ = [
+    "POLICIES",
+    "scheduler_utility",
+    "run_fig15a_batch_size",
+    "run_fig15b_variance",
+    "run_fig15c_row_length",
+]
+
+POLICIES = ("DAS", "SJF", "FCFS", "DEF")
+
+
+def _make_policy(name: str, batch: BatchConfig) -> tuple[Scheduler, InferenceEngine]:
+    # The full TCB stack is Slotted_DAS driving the slotted engine.  The
+    # off-the-shelf baselines are *not* aware of ConcatBatching: they
+    # select one request per batch row, the classic batching notion — being
+    # concat-aware is precisely DAS's contribution (§1, §5) — and carry no
+    # slot-size logic, so they run the pure ConcatBatching engine.
+    cm = GPUCostModel.calibrated()
+    if name == "DAS":
+        return (
+            SlottedDASScheduler(batch, SchedulerConfig()),
+            SlottedConcatEngine(batch, cost_model=cm),
+        )
+    if name == "SJF":
+        return SJFScheduler(batch, concat_aware=False), ConcatEngine(batch, cost_model=cm)
+    if name == "FCFS":
+        return FCFSScheduler(batch, concat_aware=False), ConcatEngine(batch, cost_model=cm)
+    if name == "DEF":
+        return DEFScheduler(batch, concat_aware=False), ConcatEngine(batch, cost_model=cm)
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def scheduler_utility(
+    policy: str,
+    batch: BatchConfig,
+    *,
+    rate: float = 1000.0,
+    spread: float = 20.0,
+    horizon: float = 10.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    cost_model: Optional[GPUCostModel] = None,
+) -> float:
+    """Seed-averaged total utility of (policy)-TCB on the §6.2.1 workload."""
+    total = 0.0
+    for seed in seeds:
+        scheduler, engine = _make_policy(policy, batch)
+        if cost_model is not None:
+            engine.cost_model = cost_model
+        sim = ServingSimulator(scheduler, engine)
+        m = sim.run(
+            make_workload(rate, spread=spread, horizon=horizon, seed=seed)
+        ).metrics
+        total += m.total_utility
+    return total / len(seeds)
+
+
+def _sweep(
+    batches: Sequence[BatchConfig],
+    labels: Sequence[float],
+    label_name: str,
+    *,
+    spread: float = 20.0,
+    rate: float = 1000.0,
+    horizon: float = 10.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    spreads: Optional[Sequence[float]] = None,
+) -> dict[str, list[float]]:
+    out: dict[str, list[float]] = {label_name: list(labels)}
+    for policy in POLICIES:
+        series = []
+        for i, batch in enumerate(batches):
+            s = spreads[i] if spreads is not None else spread
+            series.append(
+                scheduler_utility(
+                    policy, batch, rate=rate, spread=s, horizon=horizon, seeds=seeds
+                )
+            )
+        out[f"{policy}-TCB"] = series
+    return out
+
+
+def run_fig15a_batch_size(
+    batch_sizes: Sequence[int] = (5, 10, 16),
+    *,
+    row_length: int = 100,
+    rate: float = 1000.0,
+    horizon: float = 10.0,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> dict[str, list[float]]:
+    """Fig. 15(a): utility vs batch size (number of rows)."""
+    batches = [BatchConfig(num_rows=b, row_length=row_length) for b in batch_sizes]
+    return _sweep(batches, list(batch_sizes), "batch_size", rate=rate, horizon=horizon, seeds=seeds)
+
+
+def run_fig15b_variance(
+    spreads: Sequence[float] = (10, 50, 100),
+    *,
+    batch_size: int = 16,
+    row_length: int = 100,
+    rate: float = 1000.0,
+    horizon: float = 10.0,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> dict[str, list[float]]:
+    """Fig. 15(b): utility vs request-length spread at batch size 16."""
+    batches = [BatchConfig(num_rows=batch_size, row_length=row_length)] * len(spreads)
+    return _sweep(
+        batches, list(spreads), "spread", rate=rate, horizon=horizon, seeds=seeds,
+        spreads=list(spreads),
+    )
+
+
+def run_fig15c_row_length(
+    row_lengths: Sequence[int] = (100, 200, 300),
+    *,
+    batch_size: int = 16,
+    rate: float = 1000.0,
+    horizon: float = 10.0,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> dict[str, list[float]]:
+    """Fig. 15(c): utility vs batch row length L."""
+    batches = [BatchConfig(num_rows=batch_size, row_length=L) for L in row_lengths]
+    return _sweep(batches, list(row_lengths), "row_length", rate=rate, horizon=horizon, seeds=seeds)

@@ -1,0 +1,100 @@
+"""Sensitivity analysis: are the headline results robust to the cost model?
+
+The serving figures run on a calibrated analytic GPU model (DESIGN.md's
+substitution).  A fair question is whether the paper-level *conclusions*
+— TCB beats TNB/TTB at saturation; slotting speeds up large batches and
+plateaus — survive if the calibration is wrong.  This module perturbs
+each cost constant by a factor (default ×½ and ×2, i.e. ±100 % error)
+and recomputes the headline metrics:
+
+- ``fig10_gap`` — saturated TCB/TNB throughput ratio under DAS,
+- ``tcb_wins_fcfs`` — whether TCB strictly beats both TNB and TTB under
+  FCFS (the TTB-vs-TNB margin is a few percent and flips under some
+  perturbations, so the robust claim is about TCB),
+- ``fig14_speedup`` — slotted speedup at 7 slots, batch 32,
+- ``fig14_plateau`` — speedup(20) − speedup(7) (should stay small).
+
+The bench asserts the *qualitative* conclusions hold for every
+perturbation, which is the strongest robustness statement a simulation
+substitution can make.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.engine.cost_model import GPUCostModel
+from repro.experiments.serving_sweeps import serving_point
+from repro.experiments.slot_speedup import slotted_batch_time
+
+__all__ = ["PERTURBABLE", "headline_metrics", "sensitivity_sweep"]
+
+PERTURBABLE = (
+    "fixed_per_batch",
+    "per_token",
+    "attn_rate",
+    "attn_floor",
+    "per_slot",
+    "decode_factor",
+)
+
+
+def headline_metrics(
+    cm: GPUCostModel,
+    *,
+    rate: float = 450.0,
+    horizon: float = 8.0,
+    seeds: Sequence[int] = (0,),
+) -> dict[str, float]:
+    """The four headline quantities under one cost model."""
+    tcb = serving_point("TCB", "das", rate, horizon=horizon, seeds=seeds, cost_model=cm)
+    tnb = serving_point("TNB", "das", rate, horizon=horizon, seeds=seeds, cost_model=cm)
+    f_tcb = serving_point("TCB", "fcfs", rate, horizon=horizon, seeds=seeds, cost_model=cm)
+    f_ttb = serving_point("TTB", "fcfs", rate, horizon=horizon, seeds=seeds, cost_model=cm)
+    f_tnb = serving_point("TNB", "fcfs", rate, horizon=horizon, seeds=seeds, cost_model=cm)
+
+    t1 = slotted_batch_time(32, 400, 1, cm)
+    t7 = slotted_batch_time(32, 400, 7, cm)
+    t20 = slotted_batch_time(32, 400, 20, cm)
+    return {
+        "fig10_gap": tcb.throughput / max(tnb.throughput, 1e-9),
+        "tcb_wins_fcfs": float(
+            f_tcb.throughput > f_ttb.throughput
+            and f_tcb.throughput > f_tnb.throughput
+        ),
+        "fig14_speedup": t1 / t7,
+        "fig14_plateau": t1 / t20 - t1 / t7,
+    }
+
+
+def sensitivity_sweep(
+    factors: Sequence[float] = (0.5, 2.0),
+    constants: Optional[Sequence[str]] = None,
+    **kwargs,
+) -> dict[str, list]:
+    """Perturb each constant by each factor; collect headline metrics."""
+    base = GPUCostModel.calibrated()
+    names = list(constants) if constants is not None else list(PERTURBABLE)
+    for name in names:
+        if name not in PERTURBABLE:
+            raise ValueError(f"unknown cost constant {name!r}")
+    out: dict[str, list] = {
+        "perturbation": [],
+        "fig10_gap": [],
+        "tcb_wins_fcfs": [],
+        "fig14_speedup": [],
+        "fig14_plateau": [],
+    }
+
+    def record(label: str, cm: GPUCostModel) -> None:
+        metrics = headline_metrics(cm, **kwargs)
+        out["perturbation"].append(label)
+        for k, v in metrics.items():
+            out[k].append(v)
+
+    record("baseline", base)
+    for name in names:
+        for factor in factors:
+            cm = base.with_(**{name: getattr(base, name) * factor})
+            record(f"{name} ×{factor:g}", cm)
+    return out

@@ -1,0 +1,193 @@
+"""Serving-throughput/utility sweeps: Figs. 9, 10, 11, 12.
+
+The paper's §6.2.1–6.2.2 setup: requests of 3–100 tokens (truncated
+normal, average 20), Poisson arrivals, batch size 64.  Fig. 9/10 feed all
+three systems the DAS scheduling results; Figs. 11/12 switch to FCFS to
+isolate the inference-engine (batching) efficiency, at length spread 20
+and 100 respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.config import BatchConfig, SchedulerConfig
+from repro.engine.base import InferenceEngine
+from repro.engine.concat import ConcatEngine
+from repro.engine.cost_model import GPUCostModel
+from repro.engine.naive import NaiveEngine
+from repro.engine.turbo import TurboEngine
+from repro.scheduling.base import Scheduler
+from repro.scheduling.baselines import FCFSScheduler
+from repro.scheduling.das import DASScheduler
+from repro.serving.metrics import ServingMetrics
+from repro.serving.simulator import ServingSimulator
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.generator import LengthDistribution, WorkloadGenerator
+
+__all__ = [
+    "PAPER_RATES_DAS",
+    "PAPER_RATES_FCFS",
+    "make_engine",
+    "make_scheduler",
+    "make_workload",
+    "serving_point",
+    "run_fig09_utility",
+    "run_fig10_throughput",
+    "run_fig11_fig12_fcfs",
+]
+
+# X-axes exactly as in the paper's figures.
+PAPER_RATES_DAS = (40, 80, 120, 180, 200, 250, 350, 450, 1000, 1500)
+PAPER_RATES_FCFS = (40, 60, 80, 100, 120, 140, 250, 1000, 1250, 1500)
+
+SYSTEMS = ("TNB", "TTB", "TCB")
+
+_ENGINES: dict[str, type[InferenceEngine]] = {
+    "TNB": NaiveEngine,
+    "TTB": TurboEngine,
+    "TCB": ConcatEngine,
+}
+
+
+def make_engine(
+    system: str,
+    batch: BatchConfig,
+    cost_model: Optional[GPUCostModel] = None,
+) -> InferenceEngine:
+    try:
+        cls = _ENGINES[system]
+    except KeyError:
+        raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+    return cls(batch, cost_model=cost_model or GPUCostModel.calibrated())
+
+
+def make_scheduler(policy: str, batch: BatchConfig) -> Scheduler:
+    if policy == "das":
+        return DASScheduler(batch, SchedulerConfig())
+    if policy == "fcfs":
+        return FCFSScheduler(batch)
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def make_workload(
+    rate: float,
+    *,
+    spread: float = 20.0,
+    horizon: float = 10.0,
+    seed: int = 0,
+    base_slack: float = 3.0,
+    jitter: float = 1.0,
+) -> WorkloadGenerator:
+    """§6.2.1 workload: 3–100 tokens, average 20, Poisson arrivals."""
+    return WorkloadGenerator(
+        rate=rate,
+        lengths=LengthDistribution(
+            family="normal", mean=20.0, spread=spread, low=3, high=100
+        ),
+        deadlines=DeadlineModel(base_slack=base_slack, jitter=jitter),
+        horizon=horizon,
+        seed=seed,
+    )
+
+
+def serving_point(
+    system: str,
+    policy: str,
+    rate: float,
+    *,
+    batch: Optional[BatchConfig] = None,
+    spread: float = 20.0,
+    horizon: float = 10.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    cost_model: Optional[GPUCostModel] = None,
+) -> ServingMetrics:
+    """One (system, policy, rate) cell, seed-averaged.
+
+    Returns a synthetic :class:`ServingMetrics` whose utility/throughput
+    are the across-seed means (per-request lists hold the union).
+    """
+    if batch is None:
+        batch = BatchConfig(num_rows=64, row_length=100)
+    agg = ServingMetrics(horizon=horizon * len(seeds))
+    for seed in seeds:
+        sim = ServingSimulator(
+            make_scheduler(policy, batch), make_engine(system, batch, cost_model)
+        )
+        m = sim.run(make_workload(rate, spread=spread, horizon=horizon, seed=seed)).metrics
+        agg.served.extend(m.served)
+        agg.expired.extend(m.expired)
+        # Finish times are merged with seed-offset keys so latency stats
+        # aggregate across runs without id collisions.
+        for rid, pair in m.finish_times.items():
+            agg.finish_times[(seed + 1) * 10_000_000 + rid] = pair
+        agg.total_engine_time += m.total_engine_time
+        agg.total_scheduler_time += m.total_scheduler_time
+        agg.num_batches += m.num_batches
+        agg.useful_tokens += m.useful_tokens
+        agg.padded_tokens += m.padded_tokens
+    return agg
+
+
+def _sweep(
+    policy: str,
+    rates: Sequence[float],
+    metric: str,
+    *,
+    spread: float = 20.0,
+    horizon: float = 10.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    cost_model: Optional[GPUCostModel] = None,
+) -> dict[str, list[float]]:
+    out: dict[str, list[float]] = {"rate": list(rates)}
+    for system in SYSTEMS:
+        series = []
+        for rate in rates:
+            m = serving_point(
+                system,
+                policy,
+                rate,
+                spread=spread,
+                horizon=horizon,
+                seeds=seeds,
+                cost_model=cost_model,
+            )
+            value = m.total_utility if metric == "utility" else m.throughput
+            if metric == "utility":
+                value /= len(seeds)  # per-run utility, as the paper plots
+            series.append(value)
+        out[f"{policy.upper()}-{system}"] = series
+    return out
+
+
+def run_fig09_utility(
+    rates: Sequence[float] = PAPER_RATES_DAS,
+    *,
+    horizon: float = 10.0,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> dict[str, list[float]]:
+    """Fig. 9: total utility vs arrival rate under DAS scheduling."""
+    return _sweep("das", rates, "utility", horizon=horizon, seeds=seeds)
+
+
+def run_fig10_throughput(
+    rates: Sequence[float] = PAPER_RATES_DAS,
+    *,
+    horizon: float = 10.0,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> dict[str, list[float]]:
+    """Fig. 10: serving throughput vs arrival rate under DAS."""
+    return _sweep("das", rates, "throughput", horizon=horizon, seeds=seeds)
+
+
+def run_fig11_fig12_fcfs(
+    spread: float,
+    rates: Sequence[float] = PAPER_RATES_FCFS,
+    *,
+    horizon: float = 10.0,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> dict[str, list[float]]:
+    """Figs. 11 (σ=20) and 12 (σ=100): FCFS throughput vs arrival rate."""
+    return _sweep("fcfs", rates, "throughput", spread=spread, horizon=horizon, seeds=seeds)

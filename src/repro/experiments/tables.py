@@ -1,0 +1,43 @@
+"""Plain-text table formatting for experiment series.
+
+Every ``run_fig*`` harness returns ``{column_name: [values...]}``;
+:func:`format_series_table` renders that as the aligned text table the
+benchmark suite prints (and EXPERIMENTS.md embeds).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_series_table"]
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+def format_series_table(
+    series: Mapping[str, Sequence[object]], title: str = ""
+) -> str:
+    cols = list(series.keys())
+    if not cols:
+        return title
+    n = len(series[cols[0]])
+    for c in cols:
+        if len(series[c]) != n:
+            raise ValueError(f"column {c!r} has {len(series[c])} rows, expected {n}")
+    rows = [[_fmt(series[c][i]) for c in cols] for i in range(n)]
+    widths = [
+        max(len(c), max((len(r[j]) for r in rows), default=0))
+        for j, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.rjust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

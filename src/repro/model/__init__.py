@@ -1,0 +1,52 @@
+"""Pure-NumPy transformer substrate (encoder-decoder Seq2Seq).
+
+This package reimplements, from scratch, everything the paper's inference
+engine needs from PyTorch: embeddings + positional encoding, multi-head
+attention with arbitrary additive masks, feed-forward blocks, layer norm,
+encoder and decoder stacks, and greedy autoregressive generation.
+
+The code is written in the vectorised NumPy idiom (no Python loops over
+batch or token dimensions in hot paths; contiguous arrays; in-place
+updates where profitable) so the *measured* engine mode is fast enough to
+run real end-to-end tests.
+"""
+
+from repro.model.functional import (
+    gelu,
+    layer_norm,
+    linear,
+    relu,
+    softmax,
+)
+from repro.model.params import (
+    AttentionParams,
+    DecoderLayerParams,
+    EncoderLayerParams,
+    FeedForwardParams,
+    LayerNormParams,
+    Seq2SeqParams,
+    init_seq2seq,
+)
+from repro.model.attention import multi_head_attention, split_heads, merge_heads
+from repro.model.seq2seq import Seq2SeqModel
+from repro.model.vocab import ToyVocab
+
+__all__ = [
+    "softmax",
+    "relu",
+    "gelu",
+    "layer_norm",
+    "linear",
+    "AttentionParams",
+    "FeedForwardParams",
+    "LayerNormParams",
+    "EncoderLayerParams",
+    "DecoderLayerParams",
+    "Seq2SeqParams",
+    "init_seq2seq",
+    "multi_head_attention",
+    "split_heads",
+    "merge_heads",
+    "Seq2SeqModel",
+    "ToyVocab",
+]

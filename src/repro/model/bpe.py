@@ -1,0 +1,177 @@
+"""Byte-pair-encoding tokenizer, trained from scratch.
+
+The paper's serving scenario is NLP (translation requests); real request
+lengths come from a *tokenizer*, so this module provides one — a clean
+implementation of word-internal BPE in the style of Sennrich et al.
+(2016):
+
+- :meth:`BPETokenizer.train` learns merge rules from a corpus by
+  repeatedly merging the most frequent adjacent symbol pair,
+- :meth:`BPETokenizer.encode` applies the learned merges (in rank
+  order) to new text and maps symbols to ids,
+- :meth:`BPETokenizer.decode` inverts it exactly for trained-alphabet
+  text.
+
+Words are encoded independently (a ``</w>`` marker terminates each
+word), so ``encode`` is deterministic and round-trips whitespace-
+normalised text.  Characters never seen at training time fall back to
+``UNK``.
+
+This powers :func:`repro.workload.corpus.corpus_workload`, which turns
+raw text into a request-length distribution — the empirical stand-in
+for the paper's ParaCrawl/GLUE datasets.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["BPETokenizer"]
+
+_END = "</w>"
+
+
+@dataclass
+class BPETokenizer:
+    """Trainable byte-pair encoder with PAD/EOS/BOS/UNK specials."""
+
+    PAD: int = 0
+    EOS: int = 1
+    BOS: int = 2
+    UNK: int = 3
+
+    merges: list[tuple[str, str]] = field(default_factory=list)
+    vocab: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _word_symbols(word: str) -> tuple[str, ...]:
+        return tuple(word) + (_END,)
+
+    @staticmethod
+    def _pair_counts(
+        words: dict[tuple[str, ...], int]
+    ) -> collections.Counter:
+        counts: collections.Counter = collections.Counter()
+        for symbols, freq in words.items():
+            for a, b in zip(symbols, symbols[1:]):
+                counts[(a, b)] += freq
+        return counts
+
+    @staticmethod
+    def _merge_word(
+        symbols: tuple[str, ...], pair: tuple[str, str]
+    ) -> tuple[str, ...]:
+        merged: list[str] = []
+        i = 0
+        while i < len(symbols):
+            if (
+                i + 1 < len(symbols)
+                and symbols[i] == pair[0]
+                and symbols[i + 1] == pair[1]
+            ):
+                merged.append(pair[0] + pair[1])
+                i += 2
+            else:
+                merged.append(symbols[i])
+                i += 1
+        return tuple(merged)
+
+    def train(self, corpus: Iterable[str], num_merges: int = 200) -> "BPETokenizer":
+        """Learn up to ``num_merges`` merge rules from the corpus."""
+        if num_merges < 0:
+            raise ValueError("num_merges must be >= 0")
+        word_freq: collections.Counter = collections.Counter()
+        for line in corpus:
+            for word in line.split():
+                word_freq[word] += 1
+        if not word_freq:
+            raise ValueError("cannot train on an empty corpus")
+
+        words = {
+            self._word_symbols(w): f for w, f in word_freq.items()
+        }
+        self.merges = []
+        for _ in range(num_merges):
+            counts = self._pair_counts(words)
+            if not counts:
+                break
+            # Deterministic tie-break: highest count, then lexicographic.
+            pair = max(counts, key=lambda p: (counts[p], p))
+            if counts[pair] < 2:
+                break  # nothing left worth merging
+            self.merges.append(pair)
+            words = {
+                self._merge_word(symbols, pair): f
+                for symbols, f in words.items()
+            }
+
+        # Build the symbol vocabulary: every surviving symbol + alphabet.
+        symbols: set[str] = set()
+        for word in words:
+            symbols.update(word)
+        for w in word_freq:
+            symbols.update(w)  # single chars, for fallback segmentation
+        symbols.add(_END)
+        self.vocab = {"<pad>": self.PAD, "<eos>": self.EOS, "<bos>": self.BOS, "<unk>": self.UNK}
+        for sym in sorted(symbols):
+            self.vocab[sym] = len(self.vocab)
+        self._rank = {pair: i for i, pair in enumerate(self.merges)}
+        self._id_to_sym = {i: s for s, i in self.vocab.items()}
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Encoding / decoding
+    # ------------------------------------------------------------------ #
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    def _segment_word(self, word: str) -> list[str]:
+        symbols = list(self._word_symbols(word))
+        rank = getattr(self, "_rank", None)
+        if rank is None:
+            raise RuntimeError("tokenizer is not trained")
+        while len(symbols) > 1:
+            best: Optional[tuple[int, int]] = None  # (rank, index)
+            for i in range(len(symbols) - 1):
+                r = rank.get((symbols[i], symbols[i + 1]))
+                if r is not None and (best is None or r < best[0]):
+                    best = (r, i)
+            if best is None:
+                break
+            _, i = best
+            symbols[i : i + 2] = [symbols[i] + symbols[i + 1]]
+        return symbols
+
+    def encode(self, text: str) -> list[int]:
+        """Encode whitespace-separated text into token ids."""
+        out: list[int] = []
+        for word in text.split():
+            for sym in self._segment_word(word):
+                out.append(self.vocab.get(sym, self.UNK))
+        return out
+
+    def decode(self, ids: Sequence[int]) -> str:
+        """Invert :meth:`encode`; specials are skipped, EOS terminates."""
+        pieces: list[str] = []
+        for i in ids:
+            i = int(i)
+            if i == self.EOS:
+                break
+            if i in (self.PAD, self.BOS):
+                continue
+            sym = self._id_to_sym.get(i, "<unk>")
+            pieces.append(sym)
+        text = "".join(pieces)
+        return text.replace(_END, " ").strip()
+
+    def token_length(self, text: str) -> int:
+        """Number of tokens ``encode`` would produce (no id mapping)."""
+        return sum(len(self._segment_word(w)) for w in text.split())

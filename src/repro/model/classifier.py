@@ -1,0 +1,84 @@
+"""Encoder-only classification model over ConcatBatching layouts.
+
+The paper motivates variable-length serving with GLUE-style workloads —
+which are *classification*, not generation: one label per sentence, no
+decoder.  This module provides that substrate:
+
+- :class:`ClassifierModel` — the shared transformer encoder + per-request
+  mean-pooling + a linear head,
+- pooling is **segment-aware**: each concatenated request is pooled over
+  exactly its own positions, so (with the §4.1 masks/PE) a request's
+  logits are identical whether it was batched alone or concatenated —
+  verified in ``tests/test_classifier.py``.
+
+Classification batches also skip the decode pass; use
+``cost_model.batch_time(..., include_decode=False)`` (or
+``layout_time(..., include_decode=False)``) when simulating
+encoder-only services.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.core.layout import BatchLayout
+from repro.model.params import Seq2SeqParams, _xavier, init_seq2seq
+from repro.model.seq2seq import Seq2SeqModel
+
+__all__ = ["ClassifierModel"]
+
+
+class ClassifierModel:
+    """Transformer encoder + segment-aware pooling + linear head."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        num_classes: int,
+        seed: int = 0,
+        encoder_params: Optional[Seq2SeqParams] = None,
+    ):
+        if num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        self.config = config
+        self.num_classes = num_classes
+        # Reuse the Seq2Seq encoder stack (decoder params unused).
+        self._backbone = Seq2SeqModel(
+            config,
+            seed=seed,
+            params=encoder_params,
+        )
+        rng = np.random.default_rng(seed + 1)
+        self.head_w = _xavier(rng, config.d_model, num_classes)
+        self.head_b = np.zeros(num_classes)
+
+    # ------------------------------------------------------------------ #
+
+    def pooled_features(self, layout: BatchLayout) -> dict[int, np.ndarray]:
+        """Mean-pool encoder states per request segment."""
+        enc = self._backbone.encode_layout(layout)
+        out: dict[int, np.ndarray] = {}
+        for row_idx, seg in layout.segments():
+            states = enc[row_idx, seg.start : seg.end]
+            out[seg.request.request_id] = states.mean(axis=0)
+        return out
+
+    def logits(self, layout: BatchLayout) -> dict[int, np.ndarray]:
+        """Per-request class logits for every request in the layout."""
+        feats = self.pooled_features(layout)
+        return {
+            rid: f @ self.head_w + self.head_b for rid, f in feats.items()
+        }
+
+    def classify(self, layout: BatchLayout) -> dict[int, int]:
+        """Per-request argmax class labels."""
+        return {rid: int(np.argmax(l)) for rid, l in self.logits(layout).items()}
+
+    def classify_single(self, tokens: Sequence[int]) -> int:
+        """Reference path: classify one request in isolation."""
+        states = self._backbone.encode_single(tokens)[0]
+        logits = states.mean(axis=0) @ self.head_w + self.head_b
+        return int(np.argmax(logits))

@@ -1,0 +1,55 @@
+"""Transformer decoder stack (masked self-attention + cross-attention).
+
+Under ConcatBatching the decoder needs two customized masks:
+
+- self-attention: causal *within* each concatenated request's segment and
+  blocked *across* segments (:func:`repro.core.masks.causal_block_mask`),
+- cross-attention: a decoder token of request *r* attends only to the
+  encoder positions of request *r*
+  (:func:`repro.core.masks.cross_attention_mask`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.model.attention import multi_head_attention
+from repro.model.feedforward import feed_forward
+from repro.model.functional import layer_norm
+from repro.model.params import DecoderLayerParams
+
+__all__ = ["decoder_layer", "decode_stack"]
+
+
+def decoder_layer(
+    params: DecoderLayerParams,
+    num_heads: int,
+    x: np.ndarray,
+    memory: np.ndarray,
+    self_mask: Optional[np.ndarray] = None,
+    cross_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    attn = multi_head_attention(params.self_attn, num_heads, x, mask=self_mask)
+    x = layer_norm(x + attn, params.norm1.gamma, params.norm1.beta)
+    cross = multi_head_attention(
+        params.cross_attn, num_heads, x, key_value_input=memory, mask=cross_mask
+    )
+    x = layer_norm(x + cross, params.norm2.gamma, params.norm2.beta)
+    ffn = feed_forward(params.ffn, x)
+    return layer_norm(x + ffn, params.norm3.gamma, params.norm3.beta)
+
+
+def decode_stack(
+    layers: Sequence[DecoderLayerParams],
+    num_heads: int,
+    x: np.ndarray,
+    memory: np.ndarray,
+    self_mask: Optional[np.ndarray] = None,
+    cross_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    h = x
+    for layer in layers:
+        h = decoder_layer(layer, num_heads, h, memory, self_mask, cross_mask)
+    return h

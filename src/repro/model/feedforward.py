@@ -1,0 +1,15 @@
+"""Position-wise feed-forward block (post-attention FFN)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.functional import linear, relu
+from repro.model.params import FeedForwardParams
+
+__all__ = ["feed_forward"]
+
+
+def feed_forward(params: FeedForwardParams, x: np.ndarray) -> np.ndarray:
+    """``relu(x W1 + b1) W2 + b2`` applied position-wise."""
+    return linear(relu(linear(x, params.w1, params.b1)), params.w2, params.b2)

@@ -1,0 +1,9 @@
+"""Stateless numeric primitives (re-exported from :mod:`repro.numerics`).
+
+The implementations live in a dependency-free leaf module so that
+:mod:`repro.core` can use them without importing the model package.
+"""
+
+from repro.numerics import gelu, layer_norm, linear, log_softmax, relu, softmax
+
+__all__ = ["softmax", "log_softmax", "relu", "gelu", "layer_norm", "linear"]

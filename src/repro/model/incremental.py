@@ -1,0 +1,304 @@
+"""KV-cached incremental decoding for ConcatBatching.
+
+:meth:`Seq2SeqModel.greedy_decode` recomputes the whole decoder prefix
+at every step — simple and obviously correct, but O(steps²) work.  This
+module implements the standard production optimisation: per-layer
+key/value caches so each step computes only the *new* token positions
+(one per active request), while remaining numerically exact.
+
+Correctness argument: decoder self-attention under ConcatBatching is
+causal within a segment and blocked across segments, so a position's
+layer-(l−1) hidden state never changes once computed — cached K/V
+entries are final.  Cross-attention keys/values depend only on the
+encoder memory and are computed once per layer.
+
+:class:`IncrementalDecoder` mirrors the layout conventions of
+``greedy_decode`` (each request gets a contiguous decoder span of
+``max_new_tokens + 1`` positions) and is validated token-for-token
+against it in ``tests/test_incremental.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.layout import BatchLayout
+from repro.core.masks import NEG_INF
+from repro.model.functional import layer_norm, linear, softmax
+from repro.model.params import AttentionParams, DecoderLayerParams
+from repro.model.feedforward import feed_forward
+from repro.model.seq2seq import GenerationResult, Seq2SeqModel
+
+__all__ = ["IncrementalDecoder", "greedy_decode_incremental"]
+
+
+def _project_heads(
+    params: AttentionParams, x: np.ndarray, which: str, num_heads: int
+) -> np.ndarray:
+    """Project ``(B, m, d)`` and split to ``(B, H, m, d/H)``."""
+    w = getattr(params, f"w_{which}")
+    b = getattr(params, f"b_{which}")
+    out = linear(x, w, b)
+    bsz, m, d = out.shape
+    return out.reshape(bsz, m, num_heads, d // num_heads).transpose(0, 2, 1, 3)
+
+
+def _merge(x: np.ndarray) -> np.ndarray:
+    """``(B, H, m, d/H) -> (B, m, d)``."""
+    b, h, m, dh = x.shape
+    return np.ascontiguousarray(x.transpose(0, 2, 1, 3)).reshape(b, m, h * dh)
+
+
+@dataclass
+class _LayerCache:
+    """Per-decoder-layer cache state."""
+
+    # Self-attention K/V at every decoder position: (B, H, Wd, d/H).
+    self_k: np.ndarray
+    self_v: np.ndarray
+    # Cross-attention K/V over the encoder memory: (B, H, We, d/H).
+    cross_k: np.ndarray
+    cross_v: np.ndarray
+
+
+class IncrementalDecoder:
+    """Step-wise greedy decoder with per-layer KV caches."""
+
+    def __init__(self, model: Seq2SeqModel, layout: BatchLayout, max_new_tokens: int):
+        self.model = model
+        self.layout = layout
+        self.max_new_tokens = max_new_tokens
+        cfg = model.config
+        self.budget = max_new_tokens + 1
+
+        rows = layout.rows
+        self.b = len(rows)
+        max_segs = max((len(r.segments) for r in rows), default=0)
+        self.wd = max_segs * self.budget
+        if max_segs == 0:
+            raise ValueError("layout holds no requests")
+
+        # Encoder memory and its segment map.
+        self.memory = model.encode_layout(layout)
+        self.enc_seg = layout.segment_id_matrix()
+
+        # Decoder position bookkeeping (same conventions as greedy_decode).
+        self.dec_tokens = np.full((self.b, self.wd), cfg.pad_token, dtype=np.int64)
+        self.dec_seg = np.full((self.b, self.wd), -1, dtype=np.int64)
+        self.dec_pos = np.zeros((self.b, self.wd), dtype=np.int64)
+        self.starts: dict[int, tuple[int, int]] = {}
+        self.lengths: dict[int, int] = {}
+        self.finished: dict[int, bool] = {}
+        self.order: list[int] = []
+        for k, row in enumerate(rows):
+            for i, seg in enumerate(row.segments):
+                rid = seg.request.request_id
+                start = i * self.budget
+                self.starts[rid] = (k, start)
+                self.lengths[rid] = 1
+                self.finished[rid] = False
+                self.order.append(rid)
+                self.dec_tokens[k, start] = cfg.bos_token
+                self.dec_seg[k, start] = rid
+                self.dec_pos[k, start] = 0
+
+        # Allocate caches.
+        h, dh = cfg.num_heads, cfg.head_dim
+        we = self.memory.shape[1]
+        self.caches: list[_LayerCache] = []
+        for layer in model.params.decoder_layers:
+            cross_k = _project_heads(layer.cross_attn, self.memory, "k", h)
+            cross_v = _project_heads(layer.cross_attn, self.memory, "v", h)
+            self.caches.append(
+                _LayerCache(
+                    self_k=np.zeros((self.b, h, self.wd, dh)),
+                    self_v=np.zeros((self.b, h, self.wd, dh)),
+                    cross_k=cross_k,
+                    cross_v=cross_v,
+                )
+            )
+        # Cross-attention key mask (per batch row): hide other segments'
+        # encoder positions and padding; computed per step for the active
+        # query's segment.
+        self._processed = np.zeros((self.b, self.wd), dtype=bool)
+        # Prime the caches with the BOS positions.
+        self._forward_positions(self._bos_positions())
+
+    # ------------------------------------------------------------------ #
+
+    def _bos_positions(self) -> list[tuple[int, int, int]]:
+        """(row, index, request_id) of every BOS token."""
+        return [
+            (k, start, rid) for rid, (k, start) in self.starts.items()
+        ]
+
+    def _forward_positions(
+        self, positions: list[tuple[int, int, int]]
+    ) -> np.ndarray:
+        """Run the decoder stack for the given new positions only.
+
+        Returns logits of shape ``(len(positions), vocab)`` in the order
+        given.  Updates the self-attention caches in place.
+        """
+        cfg = self.model.config
+        h = cfg.num_heads
+        m = len(positions)
+        rows = np.array([p[0] for p in positions])
+        idxs = np.array([p[1] for p in positions])
+
+        # Gather embeddings of the new tokens: (1 pseudo-batch, m, d).
+        tokens = self.dec_tokens[rows, idxs]
+        pos = self.dec_pos[rows, idxs]
+        x = self.model.embed(tokens[None, :], pos[None, :])[0]  # (m, d)
+
+        # Per-position masks against the full decoder width / enc width.
+        q_seg = self.dec_seg[rows, idxs]  # (m,)
+        q_pos = self.dec_pos[rows, idxs]
+        self_mask = np.where(
+            (self.dec_seg[rows] == q_seg[:, None])
+            & (self.dec_pos[rows] <= q_pos[:, None])
+            & self._processed[rows],
+            0.0,
+            NEG_INF,
+        )  # (m, Wd)
+        cross_mask = np.where(
+            self.enc_seg[rows] == q_seg[:, None], 0.0, NEG_INF
+        )  # (m, We)
+
+        # Mark the new positions processed (visible to themselves).
+        self._processed[rows, idxs] = True
+        self_mask[np.arange(m), idxs] = 0.0
+
+        hstate = x  # (m, d)
+        for layer, cache in zip(self.model.params.decoder_layers, self.caches):
+            hstate = self._layer_step(
+                layer, cache, hstate, rows, idxs, self_mask, cross_mask, h
+            )
+        logits = linear(
+            hstate, self.model.params.out_proj, self.model.params.out_bias
+        )
+        return logits
+
+    def _layer_step(
+        self,
+        layer: DecoderLayerParams,
+        cache: _LayerCache,
+        x: np.ndarray,
+        rows: np.ndarray,
+        idxs: np.ndarray,
+        self_mask: np.ndarray,
+        cross_mask: np.ndarray,
+        num_heads: int,
+    ) -> np.ndarray:
+        m, d = x.shape
+        dh = d // num_heads
+        scale = 1.0 / np.sqrt(dh)
+
+        # --- masked self-attention over the cache ---------------------- #
+        q = linear(x, layer.self_attn.w_q, layer.self_attn.b_q)
+        k_new = linear(x, layer.self_attn.w_k, layer.self_attn.b_k)
+        v_new = linear(x, layer.self_attn.w_v, layer.self_attn.b_v)
+        # Write new K/V into the cache at (row, head, idx).
+        cache.self_k[rows, :, idxs, :] = k_new.reshape(m, num_heads, dh)
+        cache.self_v[rows, :, idxs, :] = v_new.reshape(m, num_heads, dh)
+
+        qh = q.reshape(m, num_heads, dh)  # (m, H, dh)
+        k_rows = cache.self_k[rows]  # (m, H, Wd, dh)
+        v_rows = cache.self_v[rows]
+        scores = np.einsum("mhd,mhwd->mhw", qh, k_rows) * scale
+        scores = scores + self_mask[:, None, :]
+        attn = softmax(scores, axis=-1)
+        ctx = np.einsum("mhw,mhwd->mhd", attn, v_rows).reshape(m, d)
+        ctx = linear(ctx, layer.self_attn.w_o, layer.self_attn.b_o)
+        x = layer_norm(x + ctx, layer.norm1.gamma, layer.norm1.beta)
+
+        # --- cross-attention over cached encoder K/V ------------------- #
+        q2 = linear(x, layer.cross_attn.w_q, layer.cross_attn.b_q).reshape(
+            m, num_heads, dh
+        )
+        ck = cache.cross_k[rows]  # (m, H, We, dh)
+        cv = cache.cross_v[rows]
+        scores2 = np.einsum("mhd,mhwd->mhw", q2, ck) * scale
+        scores2 = scores2 + cross_mask[:, None, :]
+        attn2 = softmax(scores2, axis=-1)
+        ctx2 = np.einsum("mhw,mhwd->mhd", attn2, cv).reshape(m, d)
+        ctx2 = linear(ctx2, layer.cross_attn.w_o, layer.cross_attn.b_o)
+        x = layer_norm(x + ctx2, layer.norm2.gamma, layer.norm2.beta)
+
+        # --- feed forward ---------------------------------------------- #
+        ffn = feed_forward(layer.ffn, x)
+        return layer_norm(x + ffn, layer.norm3.gamma, layer.norm3.beta)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> GenerationResult:
+        cfg = self.model.config
+        result = GenerationResult(
+            outputs={rid: [] for rid in self.order}, completion_step={}
+        )
+        # Logits for the BOS positions were produced during priming; we
+        # recompute the next-token choice from the last processed position
+        # at each step for clarity.
+        last_logits: dict[int, np.ndarray] = {}
+        # Prime pass already ran in __init__ via _forward_positions; rerun
+        # per-step from the current frontier.
+        frontier = {
+            rid: (k, start) for rid, (k, start) in self.starts.items()
+        }
+        # Recompute BOS logits (cache already holds BOS K/V, and a second
+        # forward of the same position would corrupt `_processed`; instead
+        # we saved nothing — so do the first argmax from a dedicated pass).
+        logits = self._frontier_logits()
+        for step in range(1, self.max_new_tokens + 1):
+            active = [rid for rid in self.order if not self.finished[rid]]
+            if not active:
+                break
+            result.steps_run = step
+            new_positions: list[tuple[int, int, int]] = []
+            for rid in active:
+                nxt = int(np.argmax(logits[rid]))
+                result.outputs[rid].append(nxt)
+                cur = self.lengths[rid]
+                if nxt == cfg.eos_token or cur >= self.budget - 1:
+                    self.finished[rid] = True
+                    result.completion_step[rid] = step
+                else:
+                    k, start = self.starts[rid]
+                    self.dec_tokens[k, start + cur] = nxt
+                    self.dec_seg[k, start + cur] = rid
+                    self.dec_pos[k, start + cur] = cur
+                    self.lengths[rid] = cur + 1
+                    new_positions.append((k, start + cur, rid))
+            if not new_positions:
+                break
+            out = self._forward_positions(new_positions)
+            logits = {
+                rid: out[i] for i, (_, _, rid) in enumerate(new_positions)
+            }
+        for rid in self.order:
+            result.completion_step.setdefault(rid, result.steps_run)
+        return result
+
+    def _frontier_logits(self) -> dict[int, np.ndarray]:
+        """Logits at each request's last processed position (BOS prime).
+
+        The priming pass in ``__init__`` already wrote BOS K/V into the
+        caches; here we recompute the BOS hidden states *reading* from
+        those caches (cheap: one position per request, no cache writes
+        needed because writing identical values is idempotent).
+        """
+        positions = self._bos_positions()
+        out = self._forward_positions(positions)
+        return {rid: out[i] for i, (_, _, rid) in enumerate(positions)}
+
+
+def greedy_decode_incremental(
+    model: Seq2SeqModel, layout: BatchLayout, max_new_tokens: int = 16
+) -> GenerationResult:
+    """KV-cached greedy decoding; exact match of ``model.greedy_decode``."""
+    if layout.num_requests == 0:
+        return GenerationResult()
+    return IncrementalDecoder(model, layout, max_new_tokens).run()

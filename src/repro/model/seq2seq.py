@@ -1,0 +1,259 @@
+"""The full Seq2Seq encoder-decoder model over batch layouts.
+
+:class:`Seq2SeqModel` is the user-facing model object.  It consumes
+:class:`~repro.core.layout.BatchLayout` objects — the common currency of
+all batching schemes — and internally derives token matrices, separate
+positional encodings and the correct masks, so callers never touch index
+math.
+
+Key entry points:
+
+- :meth:`Seq2SeqModel.encode_layout` — run the encoder over a layout
+  (optionally slot-wise),
+- :meth:`Seq2SeqModel.greedy_decode` — autoregressive greedy decoding of
+  every request in a layout, with per-request completion steps recorded
+  (this is what early memory cleaning keys off),
+- :meth:`Seq2SeqModel.encode_single` / :meth:`greedy_decode_single` —
+  per-request reference paths used to validate ConcatBatching
+  correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.core.layout import BatchLayout
+from repro.core.masks import (
+    block_diagonal_mask,
+    causal_block_mask,
+    cross_attention_mask,
+    padding_key_mask,
+)
+from repro.core.positional import sinusoidal_positional_encoding
+from repro.model.decoder import decode_stack
+from repro.model.encoder import encode
+from repro.model.functional import linear
+from repro.model.params import Seq2SeqParams, init_seq2seq
+from repro.types import Request
+
+__all__ = ["Seq2SeqModel", "GenerationResult"]
+
+
+@dataclass
+class GenerationResult:
+    """Per-request outputs of a decoding run."""
+
+    # request_id -> generated token ids (without BOS, including EOS if hit)
+    outputs: dict[int, list[int]] = field(default_factory=dict)
+    # request_id -> decode step (1-based) at which the request finished;
+    # requests that exhausted the budget get the budget value.
+    completion_step: dict[int, int] = field(default_factory=dict)
+    steps_run: int = 0
+
+
+class Seq2SeqModel:
+    """Encoder-decoder transformer supporting all TCB batching schemes."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0, params: Optional[Seq2SeqParams] = None):
+        self.config = config
+        self.params = params if params is not None else init_seq2seq(config, seed)
+
+    # ------------------------------------------------------------------ #
+    # Embedding
+    # ------------------------------------------------------------------ #
+
+    def embed(self, tokens: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Token embedding + sinusoidal PE gathered at ``positions``."""
+        if tokens.shape != positions.shape:
+            raise ValueError(
+                f"tokens {tokens.shape} and positions {positions.shape} differ"
+            )
+        emb = self.params.embedding[tokens]
+        pe = sinusoidal_positional_encoding(
+            positions, self.config.d_model, self.params.pe_table
+        )
+        return emb + pe
+
+    # ------------------------------------------------------------------ #
+    # Encoder
+    # ------------------------------------------------------------------ #
+
+    def encode_layout(
+        self,
+        layout: BatchLayout,
+        *,
+        separate_pe: bool = True,
+        concat_mask: bool = True,
+        slotted: bool = False,
+    ) -> np.ndarray:
+        """Run the encoder over a batch layout.
+
+        ``separate_pe=False`` / ``concat_mask=False`` deliberately
+        reproduce the *wrong* default-framework behaviour (used by tests
+        to show why TCB's customisations are necessary).
+        ``slotted=True`` computes self-attention per slot (Eq. 8).
+        """
+        seg = layout.segment_id_matrix()
+        positions = (
+            layout.position_matrix()
+            if separate_pe
+            else layout.naive_position_matrix()
+        )
+        tokens = layout.token_matrix(pad_token=self.config.pad_token)
+        x = self.embed(tokens, positions)
+
+        if slotted:
+            spans_per_row = layout.slot_boundaries()
+            spans = spans_per_row[0]
+            if any(s != spans for s in spans_per_row):
+                raise ValueError(
+                    "slotted encoding requires identical slot spans per row"
+                )
+            # The batch tensor is trimmed to the effective width; clip the
+            # slot spans accordingly and drop fully-padded trailing slots.
+            w = seg.shape[1]
+            spans = [(a, min(b, w)) for a, b in spans if a < w]
+            slot_masks = [
+                block_diagonal_mask(seg[:, a:b]) for (a, b) in spans
+            ]
+            return encode(
+                self.params.encoder_layers,
+                self.config.num_heads,
+                x,
+                slot_spans=spans,
+                slot_masks=slot_masks,
+            )
+
+        if concat_mask:
+            mask = block_diagonal_mask(seg)
+        else:
+            mask = padding_key_mask(seg)
+        return encode(self.params.encoder_layers, self.config.num_heads, x, mask)
+
+    def encode_single(self, tokens: Sequence[int]) -> np.ndarray:
+        """Reference path: encode one request alone (no padding, no concat)."""
+        t = np.asarray(tokens, dtype=np.int64)[None, :]
+        pos = np.arange(t.shape[1], dtype=np.int64)[None, :]
+        x = self.embed(t, pos)
+        return encode(self.params.encoder_layers, self.config.num_heads, x)
+
+    # ------------------------------------------------------------------ #
+    # Decoder / generation
+    # ------------------------------------------------------------------ #
+
+    def project_logits(self, h: np.ndarray) -> np.ndarray:
+        assert self.params.out_proj is not None
+        return linear(h, self.params.out_proj, self.params.out_bias)
+
+    def greedy_decode(
+        self,
+        layout: BatchLayout,
+        max_new_tokens: int = 16,
+        *,
+        memory: Optional[np.ndarray] = None,
+    ) -> GenerationResult:
+        """Greedy autoregressive decoding of all requests in a layout.
+
+        The decoder mirrors the encoder layout: each request gets a
+        contiguous decoder segment with a budget of ``max_new_tokens``
+        positions.  Masks are the concat-aware causal/cross masks, so the
+        same routine is exact for naive (one request/row) and concatenated
+        layouts alike.  KV-caching is intentionally omitted — the real
+        engine is a correctness/measurement substrate, not a production
+        GPU runtime (see DESIGN.md).
+        """
+        cfg = self.config
+        if layout.num_requests == 0:
+            return GenerationResult()
+        if memory is None:
+            memory = self.encode_layout(layout)
+        enc_seg = layout.segment_id_matrix()
+
+        rows = layout.rows
+        b = len(rows)
+        budget = max_new_tokens + 1  # +1 for BOS
+        # Decoder geometry: segment i of a row occupies [i*budget, (i+1)*budget).
+        max_segs = max((len(r.segments) for r in rows), default=0)
+        if max_segs == 0:
+            return GenerationResult()
+        wd = max_segs * budget
+        dec_tokens = np.full((b, wd), cfg.pad_token, dtype=np.int64)
+        dec_seg = np.full((b, wd), -1, dtype=np.int64)
+        dec_pos = np.zeros((b, wd), dtype=np.int64)
+
+        # Per-request state.
+        starts: dict[int, tuple[int, int]] = {}  # rid -> (row, seg_start)
+        lengths: dict[int, int] = {}
+        finished: dict[int, bool] = {}
+        order: list[int] = []
+        for k, row in enumerate(rows):
+            for i, seg in enumerate(row.segments):
+                rid = seg.request.request_id
+                start = i * budget
+                starts[rid] = (k, start)
+                lengths[rid] = 1
+                finished[rid] = False
+                order.append(rid)
+                dec_tokens[k, start] = cfg.bos_token
+                dec_seg[k, start] = rid
+                dec_pos[k, start] = 0
+
+        result = GenerationResult(
+            outputs={rid: [] for rid in order},
+            completion_step={},
+        )
+
+        for step in range(1, max_new_tokens + 1):
+            active = [rid for rid in order if not finished[rid]]
+            if not active:
+                break
+            result.steps_run = step
+            x = self.embed(dec_tokens, dec_pos)
+            self_mask = causal_block_mask(dec_seg)
+            cross_mask = cross_attention_mask(dec_seg, enc_seg)
+            h = decode_stack(
+                self.params.decoder_layers,
+                cfg.num_heads,
+                x,
+                memory,
+                self_mask,
+                cross_mask,
+            )
+            logits = self.project_logits(h)
+            for rid in active:
+                k, start = starts[rid]
+                cur = lengths[rid]
+                nxt = int(np.argmax(logits[k, start + cur - 1]))
+                result.outputs[rid].append(nxt)
+                if nxt == cfg.eos_token or cur >= budget - 1:
+                    finished[rid] = True
+                    result.completion_step[rid] = step
+                else:
+                    dec_tokens[k, start + cur] = nxt
+                    dec_seg[k, start + cur] = rid
+                    dec_pos[k, start + cur] = cur
+                    lengths[rid] = cur + 1
+
+        for rid in order:
+            result.completion_step.setdefault(rid, result.steps_run)
+        return result
+
+    def greedy_decode_single(
+        self, tokens: Sequence[int], max_new_tokens: int = 16
+    ) -> list[int]:
+        """Reference path: greedy-decode one request alone."""
+        layout = BatchLayout.naive(
+            [
+                Request(
+                    request_id=0,
+                    length=len(tokens),
+                    tokens=tuple(int(t) for t in tokens),
+                )
+            ]
+        )
+        res = self.greedy_decode(layout, max_new_tokens)
+        return res.outputs[0]

@@ -1,0 +1,138 @@
+"""Save/load model parameters as ``.npz`` checkpoints.
+
+Flattens the :class:`~repro.model.params.Seq2SeqParams` tree into
+namespaced arrays (``enc.0.self_attn.w_q`` …) plus the
+:class:`~repro.config.ModelConfig` fields, and restores it exactly.
+Round-tripping is bit-exact (tested), so a served model can be pinned
+and shipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.model.params import (
+    AttentionParams,
+    DecoderLayerParams,
+    EncoderLayerParams,
+    FeedForwardParams,
+    LayerNormParams,
+    Seq2SeqParams,
+)
+
+__all__ = ["save_params", "load_params"]
+
+_ATTN_FIELDS = ("w_q", "w_k", "w_v", "w_o", "b_q", "b_k", "b_v", "b_o")
+
+
+def _flatten(params: Seq2SeqParams) -> dict[str, np.ndarray]:
+    out: dict[str, np.ndarray] = {
+        "embedding": params.embedding,
+        "pe_table": params.pe_table,
+    }
+    if params.out_proj is not None:
+        out["out_proj"] = params.out_proj
+    if params.out_bias is not None:
+        out["out_bias"] = params.out_bias
+
+    def put_attn(prefix: str, attn: AttentionParams) -> None:
+        for f in _ATTN_FIELDS:
+            out[f"{prefix}.{f}"] = getattr(attn, f)
+
+    def put_ffn(prefix: str, ffn: FeedForwardParams) -> None:
+        for f in ("w1", "b1", "w2", "b2"):
+            out[f"{prefix}.{f}"] = getattr(ffn, f)
+
+    def put_norm(prefix: str, norm: LayerNormParams) -> None:
+        out[f"{prefix}.gamma"] = norm.gamma
+        out[f"{prefix}.beta"] = norm.beta
+
+    for i, layer in enumerate(params.encoder_layers):
+        put_attn(f"enc.{i}.self_attn", layer.self_attn)
+        put_ffn(f"enc.{i}.ffn", layer.ffn)
+        put_norm(f"enc.{i}.norm1", layer.norm1)
+        put_norm(f"enc.{i}.norm2", layer.norm2)
+    for i, layer in enumerate(params.decoder_layers):
+        put_attn(f"dec.{i}.self_attn", layer.self_attn)
+        put_attn(f"dec.{i}.cross_attn", layer.cross_attn)
+        put_ffn(f"dec.{i}.ffn", layer.ffn)
+        put_norm(f"dec.{i}.norm1", layer.norm1)
+        put_norm(f"dec.{i}.norm2", layer.norm2)
+        put_norm(f"dec.{i}.norm3", layer.norm3)
+    return out
+
+
+def save_params(params: Seq2SeqParams, path: Union[str, Path]) -> None:
+    """Write a checkpoint (config JSON + flattened weights) to ``path``."""
+    path = Path(path)
+    arrays = _flatten(params)
+    config_json = json.dumps(dataclasses.asdict(params.config))
+    np.savez(
+        path, __config__=np.frombuffer(config_json.encode(), dtype=np.uint8), **arrays
+    )
+
+
+def _take_attn(data, prefix: str) -> AttentionParams:
+    return AttentionParams(**{f: data[f"{prefix}.{f}"] for f in _ATTN_FIELDS})
+
+
+def _take_ffn(data, prefix: str) -> FeedForwardParams:
+    return FeedForwardParams(
+        w1=data[f"{prefix}.w1"],
+        b1=data[f"{prefix}.b1"],
+        w2=data[f"{prefix}.w2"],
+        b2=data[f"{prefix}.b2"],
+    )
+
+
+def _take_norm(data, prefix: str) -> LayerNormParams:
+    return LayerNormParams(
+        gamma=data[f"{prefix}.gamma"], beta=data[f"{prefix}.beta"]
+    )
+
+
+def load_params(path: Union[str, Path]) -> Seq2SeqParams:
+    """Restore a checkpoint written by :func:`save_params`."""
+    path = Path(path)
+    if not path.suffix:
+        path = path.with_suffix(".npz")
+    with np.load(path) as data:
+        config_json = bytes(data["__config__"]).decode()
+        config = ModelConfig(**json.loads(config_json))
+        enc_layers = []
+        for i in range(config.num_encoder_layers):
+            enc_layers.append(
+                EncoderLayerParams(
+                    self_attn=_take_attn(data, f"enc.{i}.self_attn"),
+                    ffn=_take_ffn(data, f"enc.{i}.ffn"),
+                    norm1=_take_norm(data, f"enc.{i}.norm1"),
+                    norm2=_take_norm(data, f"enc.{i}.norm2"),
+                )
+            )
+        dec_layers = []
+        for i in range(config.num_decoder_layers):
+            dec_layers.append(
+                DecoderLayerParams(
+                    self_attn=_take_attn(data, f"dec.{i}.self_attn"),
+                    cross_attn=_take_attn(data, f"dec.{i}.cross_attn"),
+                    ffn=_take_ffn(data, f"dec.{i}.ffn"),
+                    norm1=_take_norm(data, f"dec.{i}.norm1"),
+                    norm2=_take_norm(data, f"dec.{i}.norm2"),
+                    norm3=_take_norm(data, f"dec.{i}.norm3"),
+                )
+            )
+        return Seq2SeqParams(
+            config=config,
+            embedding=data["embedding"],
+            pe_table=data["pe_table"],
+            encoder_layers=enc_layers,
+            decoder_layers=dec_layers,
+            out_proj=data["out_proj"] if "out_proj" in data else None,
+            out_bias=data["out_bias"] if "out_bias" in data else None,
+        )

@@ -1,0 +1,61 @@
+"""A tiny deterministic tokenizer/vocabulary for examples and tests.
+
+Real NLP tokenisation is out of scope (and irrelevant to the paper's
+claims, which only depend on token *counts*); :class:`ToyVocab` provides a
+reversible word-level mapping plus a random-sentence sampler so examples
+can show readable inputs/outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ToyVocab"]
+
+_DEFAULT_WORDS = (
+    "the a of to and in that it is was for on are as with his they at be "
+    "this have from or one had by word but not what all were we when your "
+    "can said there use an each which she do how their if will up other "
+    "about out many then them these so some her would make like him into "
+    "time has look two more write go see number no way could people my "
+    "than first water been call who oil its now find long down day did "
+    "get come made may part over new sound take only little work know "
+    "place year live me back give most very after thing our just name"
+).split()
+
+
+class ToyVocab:
+    """Word-level vocabulary with PAD=0, EOS=1, BOS=2, UNK=3."""
+
+    PAD, EOS, BOS, UNK = 0, 1, 2, 3
+
+    def __init__(self, words: Sequence[str] | None = None):
+        self.words = list(words) if words is not None else list(_DEFAULT_WORDS)
+        self._to_id = {w: i + 4 for i, w in enumerate(self.words)}
+        self._to_word = {i + 4: w for i, w in enumerate(self.words)}
+
+    @property
+    def size(self) -> int:
+        return len(self.words) + 4
+
+    def encode(self, sentence: str) -> list[int]:
+        return [self._to_id.get(w, self.UNK) for w in sentence.split()]
+
+    def decode(self, ids: Iterable[int]) -> str:
+        out = []
+        for i in ids:
+            if i == self.EOS:
+                break
+            if i in (self.PAD, self.BOS):
+                continue
+            out.append(self._to_word.get(int(i), "<unk>"))
+        return " ".join(out)
+
+    def random_sentence(self, length: int, rng: np.random.Generator) -> str:
+        idx = rng.integers(0, len(self.words), size=length)
+        return " ".join(self.words[i] for i in idx)
+
+    def random_tokens(self, length: int, rng: np.random.Generator) -> list[int]:
+        return [int(t) for t in rng.integers(4, self.size, size=length)]

@@ -1,0 +1,37 @@
+"""Online request scheduling (paper §5).
+
+- :mod:`repro.scheduling.das` — Algorithm 1, the Deadline-Aware
+  Scheduling algorithm with the ``ηq/(ηq+1)`` competitive ratio,
+- :mod:`repro.scheduling.slotted_das` — Algorithm 2 for slotted
+  ConcatBatching,
+- :mod:`repro.scheduling.baselines` — FCFS, SJF and DEF (§6.2.4),
+- :mod:`repro.scheduling.queue` — the deadline-expiring wait queue,
+- :mod:`repro.scheduling.offline` — exact and LP offline optima used to
+  check Theorem 5.1 empirically.
+"""
+
+from repro.scheduling.base import Scheduler, SchedulingDecision
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.das import DASScheduler
+from repro.scheduling.slotted_das import SlottedDASScheduler
+from repro.scheduling.baselines import (
+    DEFScheduler,
+    FCFSScheduler,
+    GreedyOrderScheduler,
+    SJFScheduler,
+)
+from repro.scheduling.offline import exact_opt, lp_upper_bound
+
+__all__ = [
+    "Scheduler",
+    "SchedulingDecision",
+    "RequestQueue",
+    "DASScheduler",
+    "SlottedDASScheduler",
+    "FCFSScheduler",
+    "SJFScheduler",
+    "DEFScheduler",
+    "GreedyOrderScheduler",
+    "exact_opt",
+    "lp_upper_bound",
+]

@@ -1,0 +1,93 @@
+"""Scheduler protocol shared by DAS and the baselines.
+
+A scheduler is invoked at the beginning of each engine slot with the set
+``N_t`` of waiting (non-expired) requests and returns a
+:class:`SchedulingDecision`: an *ordered, per-row* selection of requests.
+Row order matters — it is the concatenation order the engine executes —
+and the decision optionally carries the slot size (Algorithm 2).
+
+Schedulers are pure policies: they never mutate the queue.  The serving
+loop removes the selected requests afterwards, which keeps schedulers
+trivially testable in isolation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.config import BatchConfig
+from repro.types import Request
+
+__all__ = ["SchedulingDecision", "Scheduler"]
+
+
+@dataclass
+class SchedulingDecision:
+    """Output of one scheduler invocation.
+
+    ``rows[k]`` is the ordered request list for batch row ``k`` (may be
+    empty).  ``slot_size`` is set by slotted schedulers.  ``runtime`` is
+    the wall-clock seconds the scheduler itself took — the quantity
+    Fig. 16 reports relative to batch inference time.
+    """
+
+    rows: list[list[Request]] = field(default_factory=list)
+    slot_size: Optional[int] = None
+    runtime: float = 0.0
+    # Requests selected by Algorithm 1 but discarded by Algorithm 2's
+    # slot-size limit (longer than the chosen slot).
+    discarded: list[Request] = field(default_factory=list)
+
+    def selected(self) -> list[Request]:
+        """All selected requests in row-major (= concatenation) order."""
+        return [r for row in self.rows for r in row]
+
+    @property
+    def num_selected(self) -> int:
+        return sum(len(row) for row in self.rows)
+
+    def validate(self, batch: BatchConfig) -> None:
+        """Check Eq. 10 (no duplicates) and Eq. 11 (row budgets)."""
+        if len(self.rows) > batch.num_rows:
+            raise ValueError(
+                f"{len(self.rows)} rows selected for a {batch.num_rows}-row batch"
+            )
+        seen: set[int] = set()
+        for row in self.rows:
+            total = sum(r.length for r in row)
+            if total > batch.row_length:
+                raise ValueError(
+                    f"row holds {total} tokens > L={batch.row_length}"
+                )
+            for r in row:
+                if r.request_id in seen:
+                    raise ValueError(f"request {r.request_id} selected twice")
+                seen.add(r.request_id)
+
+
+class Scheduler(abc.ABC):
+    """Base class for scheduling policies."""
+
+    name: str = "base"
+
+    def __init__(self, batch: BatchConfig):
+        self.batch = batch
+
+    @abc.abstractmethod
+    def select(
+        self, waiting: Sequence[Request], now: float = 0.0
+    ) -> SchedulingDecision:
+        """Pick requests for the engine slot starting at ``now``.
+
+        ``waiting`` contains only requests available at ``now``
+        (arrived, not expired, not yet served) — the serving loop
+        guarantees this precondition.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(B={self.batch.num_rows}, "
+            f"L={self.batch.row_length})"
+        )

@@ -1,0 +1,156 @@
+"""DAS — the Online Deadline-Aware Scheduling algorithm (Algorithm 1).
+
+For each batch row the algorithm:
+
+1. If everything still waiting fits in the row, takes it all (line 4–5).
+2. Otherwise sorts the candidates by utility ``v_n = 1/l_n``
+   non-increasingly into ``Ñ_t`` (line 7), finds the saturating prefix
+   size ``s_tk`` (line 8), and takes the first ``p_tk = η·s_tk`` as the
+   *utility-dominant set* ``N^U_t`` (lines 9–10).
+3. Builds the *deadline-aware set* ``N^D_t`` — remaining candidates with
+   utility ≥ ``q · v̄(N^U_t)`` — and adds them earliest-deadline-first
+   while they fit (lines 11–12).
+4. Back-fills any remaining capacity greedily from the rest (lines
+   13–15).
+
+Theorem 5.1: the algorithm is ``ηq/(ηq+1)``-competitive; with the paper's
+``η = q = ½`` that is ⅕.  ``tests/test_theory.py`` checks the bound
+against exact offline optima on random instances.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional, Sequence
+
+from repro.config import BatchConfig, SchedulerConfig
+from repro.scheduling.base import Scheduler, SchedulingDecision
+from repro.types import Request
+
+__all__ = ["DASScheduler", "das_row_parts"]
+
+
+def das_row_parts(
+    candidates: Sequence[Request],
+    row_length: int,
+    eta: float,
+    q: float,
+) -> tuple[list[Request], list[Request], list[Request]]:
+    """Split sorted-by-utility candidates into (N^U, N^D, rest) for one row.
+
+    ``candidates`` must already be sorted by utility non-increasingly.
+    Exposed separately because Algorithm 2 needs the utility-dominant set
+    to derive its slot size, and because the theory tests exercise it
+    directly.
+    """
+    # Line 8: s_tk = saturating prefix size.
+    s = 0
+    acc = 0
+    for r in candidates:
+        if acc + r.length > row_length:
+            break
+        acc += r.length
+        s += 1
+    if s == 0:
+        # Even the highest-utility request alone does not fit (it is
+        # longer than L) — skip utility-dominant selection entirely.
+        return [], [], list(candidates)
+
+    # Line 9: p_tk = η · s_tk (at least one task so v̄ is defined).
+    p = max(1, math.floor(eta * s))
+    utility_dominant = list(candidates[:p])
+
+    v_bar = sum(r.utility for r in utility_dominant) / len(utility_dominant)
+    threshold = q * v_bar
+
+    deadline_aware: list[Request] = []
+    rest: list[Request] = []
+    for r in candidates[p:]:
+        (deadline_aware if r.utility >= threshold else rest).append(r)
+    # Line 12: deadline-aware set is consumed earliest-deadline-first.
+    deadline_aware.sort(key=lambda r: (r.deadline, r.request_id))
+    return utility_dominant, deadline_aware, rest
+
+
+class DASScheduler(Scheduler):
+    """Algorithm 1.  ``record_parts=True`` keeps per-row (N^U, N^D) for
+    Algorithm 2 and for the theory tests."""
+
+    name = "das"
+
+    def __init__(
+        self,
+        batch: BatchConfig,
+        config: Optional[SchedulerConfig] = None,
+        *,
+        record_parts: bool = False,
+    ):
+        super().__init__(batch)
+        self.config = config or SchedulerConfig()
+        self.record_parts = record_parts
+        self.last_parts: list[tuple[list[Request], list[Request]]] = []
+
+    def select(
+        self, waiting: Sequence[Request], now: float = 0.0
+    ) -> SchedulingDecision:
+        start = time.perf_counter()
+        eta, q = self.config.eta, self.config.q
+        L = self.batch.row_length
+        remaining = [r for r in waiting if r.length <= L]
+        rows: list[list[Request]] = []
+        parts: list[tuple[list[Request], list[Request]]] = []
+
+        for _k in range(self.batch.num_rows):
+            if not remaining:
+                break
+            total = sum(r.length for r in remaining)
+            if total <= L:
+                # Lines 4–5: everything fits in this row.
+                rows.append(list(remaining))
+                parts.append((list(remaining), []))
+                remaining = []
+                break
+
+            # Line 7: sort by utility non-increasingly (stable tie-break
+            # on id for determinism).
+            remaining.sort(key=lambda r: (-r.utility, r.request_id))
+            n_u, n_d, rest = das_row_parts(remaining, L, eta, q)
+
+            row: list[Request] = []
+            used = 0
+            chosen: set[int] = set()
+            for r in n_u:
+                # The utility-dominant prefix fits by construction of s_tk
+                # (p ≤ s), but guard anyway.
+                if used + r.length <= L:
+                    row.append(r)
+                    used += r.length
+                    chosen.add(r.request_id)
+            # Lines 11–12: earliest-deadline-first from N^D.
+            for r in n_d:
+                if used + r.length <= L:
+                    row.append(r)
+                    used += r.length
+                    chosen.add(r.request_id)
+            # Lines 13–15: back-fill from the rest (utility order).
+            for r in rest:
+                if used + r.length <= L:
+                    row.append(r)
+                    used += r.length
+                    chosen.add(r.request_id)
+
+            rows.append(row)
+            parts.append(
+                (
+                    [r for r in n_u if r.request_id in chosen],
+                    [r for r in n_d if r.request_id in chosen],
+                )
+            )
+            remaining = [r for r in remaining if r.request_id not in chosen]
+
+        if self.record_parts:
+            self.last_parts = parts
+        decision = SchedulingDecision(rows=rows)
+        decision.runtime = time.perf_counter() - start
+        return decision

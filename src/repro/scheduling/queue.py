@@ -1,0 +1,70 @@
+"""The serving system's wait queue with deadline expiry.
+
+Holds requests that have arrived but not been scheduled.  ``waiting(t)``
+returns ``N_t`` exactly as §5.2 defines it: arrived, unexpired,
+unscheduled.  Expired requests are recorded (they count as utility-zero
+failures in the metrics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.types import Request
+
+__all__ = ["RequestQueue"]
+
+
+class RequestQueue:
+    """FIFO-arrival queue with deadline-based expiry."""
+
+    def __init__(self) -> None:
+        self._waiting: dict[int, Request] = {}
+        self.expired: list[Request] = []
+        self.served_ids: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    def add(self, request: Request) -> None:
+        if request.request_id in self._waiting or request.request_id in self.served_ids:
+            raise ValueError(f"duplicate request id {request.request_id}")
+        self._waiting[request.request_id] = request
+
+    def extend(self, requests: Iterable[Request]) -> None:
+        for r in requests:
+            self.add(r)
+
+    def expire(self, now: float) -> list[Request]:
+        """Drop requests whose deadline has passed; returns the casualties.
+
+        A request whose deadline is exactly ``now`` is still schedulable
+        (Eq. 12's interval is closed).
+        """
+        dead = [r for r in self._waiting.values() if r.deadline < now]
+        for r in dead:
+            del self._waiting[r.request_id]
+        self.expired.extend(dead)
+        return dead
+
+    def waiting(self, now: float) -> list[Request]:
+        """``N_t``: available requests at time ``now`` (arrival order)."""
+        return [
+            r
+            for r in self._waiting.values()
+            if r.arrival <= now <= r.deadline
+        ]
+
+    def drop(self, requests: Sequence[Request]) -> None:
+        """Remove requests as *failures* (recorded in ``expired``)."""
+        for r in requests:
+            if r.request_id in self._waiting:
+                del self._waiting[r.request_id]
+                self.expired.append(r)
+
+    def remove_served(self, requests: Sequence[Request]) -> None:
+        for r in requests:
+            if r.request_id not in self._waiting:
+                raise KeyError(f"request {r.request_id} not in queue")
+            del self._waiting[r.request_id]
+            self.served_ids.add(r.request_id)

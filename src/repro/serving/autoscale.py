@@ -1,0 +1,195 @@
+"""Reactive autoscaling for TCB engine clusters.
+
+Cloud deployments do not run a fixed number of engines; they scale on
+queue pressure.  :class:`AutoscalingSimulator` extends the shared-queue
+cluster loop with a watermark policy evaluated whenever an engine goes
+idle:
+
+- **scale up** — if waiting tokens per active engine exceed
+  ``high_watermark`` and the fleet is below ``max_engines``, provision a
+  new engine; it becomes usable after ``startup_delay`` seconds (cold
+  start),
+- **scale down** — if waiting tokens per active engine fall below
+  ``low_watermark`` and the fleet is above ``min_engines``, retire one
+  idle engine.
+
+The policy is deliberately simple (reactive, hysteresis via the two
+watermarks); the point is the *mechanism* and its interaction with
+deadline-aware scheduling, which the bench quantifies under bursty
+arrivals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.engine.base import InferenceEngine
+from repro.engine.slotted import SlottedConcatEngine
+from repro.scheduling.base import Scheduler
+from repro.scheduling.queue import RequestQueue
+from repro.serving.metrics import ServingMetrics
+from repro.types import Request
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = ["AutoscalingSimulator", "ScalingEvent"]
+
+_MIN_SLOT = 1e-6
+
+
+@dataclass
+class ScalingEvent:
+    time: float
+    action: str  # "up" | "down"
+    engines: int  # fleet size after the action
+
+
+class AutoscalingSimulator:
+    """Shared-queue serving with watermark-based engine autoscaling."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        engine_factory: Callable[[], InferenceEngine],
+        *,
+        min_engines: int = 1,
+        max_engines: int = 8,
+        high_watermark: float = 2000.0,
+        low_watermark: float = 200.0,
+        startup_delay: float = 0.5,
+    ):
+        if not (1 <= min_engines <= max_engines):
+            raise ValueError("need 1 <= min_engines <= max_engines")
+        if low_watermark >= high_watermark:
+            raise ValueError("low_watermark must be < high_watermark")
+        if startup_delay < 0:
+            raise ValueError("startup_delay must be >= 0")
+        self.scheduler = scheduler
+        self.engine_factory = engine_factory
+        self.min_engines = min_engines
+        self.max_engines = max_engines
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.startup_delay = startup_delay
+        self.events: list[ScalingEvent] = []
+
+    def run(
+        self,
+        workload: WorkloadGenerator | Sequence[Request],
+        *,
+        horizon: Optional[float] = None,
+    ) -> ServingMetrics:
+        if hasattr(workload, "generate"):  # any workload generator (duck-typed)
+            requests = workload.generate()
+            horizon = workload.horizon if horizon is None else horizon
+        else:
+            requests = sorted(workload, key=lambda r: (r.arrival, r.request_id))
+            if horizon is None:
+                horizon = max((r.arrival for r in requests), default=0.0) + 1.0
+
+        metrics = ServingMetrics(horizon=horizon)
+        queue = RequestQueue()
+        self.events = []
+
+        engines: dict[int, InferenceEngine] = {
+            i: self.engine_factory() for i in range(self.min_engines)
+        }
+        retired: set[int] = set()
+        next_engine_id = self.min_engines
+        # (idle_at, tiebreak, engine_id)
+        idle: list[tuple[float, int, int]] = [
+            (0.0, i, i) for i in engines
+        ]
+        heapq.heapify(idle)
+        next_arrival = 0
+        n = len(requests)
+
+        def waiting_tokens(now: float) -> int:
+            return sum(r.length for r in queue.waiting(now))
+
+        while idle:
+            now, _, engine_id = heapq.heappop(idle)
+            if engine_id in retired:
+                continue
+            if now >= horizon:
+                break
+            while next_arrival < n and requests[next_arrival].arrival <= now:
+                queue.add(requests[next_arrival])
+                next_arrival += 1
+            queue.expire(now)
+
+            # --- scaling decision ------------------------------------- #
+            active = len(engines) - len(retired)
+            pressure = waiting_tokens(now) / max(active, 1)
+            if pressure > self.high_watermark and active < self.max_engines:
+                eid = next_engine_id
+                next_engine_id += 1
+                engines[eid] = self.engine_factory()
+                heapq.heappush(idle, (now + self.startup_delay, eid, eid))
+                self.events.append(ScalingEvent(now, "up", active + 1))
+            elif (
+                pressure < self.low_watermark
+                and active > self.min_engines
+                and engine_id in engines
+            ):
+                retired.add(engine_id)
+                self.events.append(ScalingEvent(now, "down", active - 1))
+                continue  # this engine retires instead of serving
+
+            waiting = queue.waiting(now)
+            if not waiting:
+                if next_arrival >= n:
+                    continue
+                heapq.heappush(
+                    idle, (requests[next_arrival].arrival, engine_id, engine_id)
+                )
+                continue
+
+            decision = self.scheduler.select(waiting, now)
+            decision.validate(self.scheduler.batch)
+            metrics.total_scheduler_time += decision.runtime
+            engine = engines[engine_id]
+            if decision.slot_size is not None and isinstance(
+                engine, SlottedConcatEngine
+            ):
+                engine.set_slot_size(decision.slot_size)
+            selected = decision.selected()
+            if not selected:
+                unservable = [
+                    r for r in waiting if r.length > self.scheduler.batch.row_length
+                ]
+                if unservable:
+                    queue.drop(unservable)
+                    heapq.heappush(idle, (now, engine_id, engine_id))
+                elif next_arrival < n:
+                    heapq.heappush(
+                        idle,
+                        (requests[next_arrival].arrival, engine_id, engine_id),
+                    )
+                continue
+
+            result = engine.serve(selected)
+            latency = max(result.latency, _MIN_SLOT)
+            finish = now + latency
+            queue.remove_served(result.served)
+            for r in result.served:
+                metrics.finish_times[r.request_id] = (r.arrival, finish)
+            metrics.served.extend(result.served)
+            metrics.total_engine_time += latency
+            metrics.num_batches += 1
+            metrics.useful_tokens += result.stats.useful_tokens
+            metrics.padded_tokens += result.stats.padded_tokens
+            heapq.heappush(idle, (finish, engine_id, engine_id))
+
+        queue.expire(float("inf"))
+        metrics.expired.extend(queue.expired)
+        metrics.expired.extend(requests[next_arrival:])
+        return metrics
+
+    @property
+    def peak_engines(self) -> int:
+        peak = self.min_engines
+        for ev in self.events:
+            peak = max(peak, ev.engines)
+        return peak

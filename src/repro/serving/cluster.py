@@ -1,0 +1,133 @@
+"""Multi-engine (multi-GPU) serving simulation.
+
+A natural extension of the paper's single-GPU system: ``G`` inference
+engines share one wait queue, and whenever *any* engine goes idle the
+scheduler packs a batch for it.  Engines run concurrently, so the
+simulation tracks a per-engine busy-until clock and always dispatches to
+the earliest-idle engine.
+
+Deadline semantics, queue expiry and metrics are identical to the
+single-engine :class:`~repro.serving.simulator.ServingSimulator`, and a
+cluster of size 1 must reproduce it exactly (tested).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional, Sequence
+
+from repro.engine.base import InferenceEngine
+from repro.engine.slotted import SlottedConcatEngine
+from repro.scheduling.base import Scheduler
+from repro.scheduling.queue import RequestQueue
+from repro.serving.metrics import ServingMetrics
+from repro.serving.simulator import SimulationResult
+from repro.types import Request
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = ["ClusterSimulator"]
+
+_MIN_SLOT = 1e-6
+
+
+class ClusterSimulator:
+    """Serve one workload with ``G`` engines sharing a queue."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        engines: Sequence[InferenceEngine],
+    ):
+        if not engines:
+            raise ValueError("need at least one engine")
+        self.scheduler = scheduler
+        self.engines = list(engines)
+
+    def run(
+        self,
+        workload: WorkloadGenerator | Sequence[Request],
+        *,
+        horizon: Optional[float] = None,
+    ) -> SimulationResult:
+        if hasattr(workload, "generate"):  # any workload generator (duck-typed)
+            requests = workload.generate()
+            horizon = workload.horizon if horizon is None else horizon
+        else:
+            requests = sorted(workload, key=lambda r: (r.arrival, r.request_id))
+            if horizon is None:
+                horizon = max((r.arrival for r in requests), default=0.0) + 1.0
+
+        metrics = ServingMetrics(horizon=horizon)
+        result = SimulationResult(metrics=metrics)
+        queue = RequestQueue()
+
+        # (idle_at, tiebreak, engine_index) priority queue.
+        idle: list[tuple[float, int, int]] = [
+            (0.0, i, i) for i in range(len(self.engines))
+        ]
+        heapq.heapify(idle)
+        next_arrival = 0
+        n = len(requests)
+
+        while idle:
+            now, _, engine_idx = heapq.heappop(idle)
+            if now >= horizon:
+                break
+            while next_arrival < n and requests[next_arrival].arrival <= now:
+                queue.add(requests[next_arrival])
+                next_arrival += 1
+            queue.expire(now)
+            waiting = queue.waiting(now)
+            if not waiting:
+                if next_arrival >= n:
+                    continue  # this engine is done; let others drain
+                # Fast-forward this engine to the next arrival.
+                heapq.heappush(
+                    idle,
+                    (requests[next_arrival].arrival, engine_idx, engine_idx),
+                )
+                continue
+
+            decision = self.scheduler.select(waiting, now)
+            decision.validate(self.scheduler.batch)
+            metrics.total_scheduler_time += decision.runtime
+            engine = self.engines[engine_idx]
+            if decision.slot_size is not None and isinstance(
+                engine, SlottedConcatEngine
+            ):
+                engine.set_slot_size(decision.slot_size)
+
+            selected = decision.selected()
+            if not selected:
+                unservable = [
+                    r
+                    for r in waiting
+                    if r.length > self.scheduler.batch.row_length
+                ]
+                if unservable:
+                    queue.drop(unservable)
+                    heapq.heappush(idle, (now, engine_idx, engine_idx))
+                elif next_arrival < n:
+                    heapq.heappush(
+                        idle,
+                        (requests[next_arrival].arrival, engine_idx, engine_idx),
+                    )
+                continue
+
+            batch_result = engine.serve(selected)
+            latency = max(batch_result.latency, _MIN_SLOT)
+            finish = now + latency
+            queue.remove_served(batch_result.served)
+            for r in batch_result.served:
+                metrics.finish_times[r.request_id] = (r.arrival, finish)
+            metrics.served.extend(batch_result.served)
+            metrics.total_engine_time += latency
+            metrics.num_batches += 1
+            metrics.useful_tokens += batch_result.stats.useful_tokens
+            metrics.padded_tokens += batch_result.stats.padded_tokens
+            heapq.heappush(idle, (finish, engine_idx, engine_idx))
+
+        queue.expire(float("inf"))
+        metrics.expired.extend(queue.expired)
+        metrics.expired.extend(requests[next_arrival:])
+        return result

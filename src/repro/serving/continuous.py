@@ -1,0 +1,170 @@
+"""Continuous (iteration-level) batching — an ORCA-style comparison system.
+
+TCB schedules at *batch* granularity: a batch is packed, runs to
+completion, then the next is packed.  Iteration-level scheduling (Yu et
+al., OSDI'22 "Orca") instead re-examines the running batch at every
+decode step: finished requests leave immediately and waiting requests
+join as soon as there is room.  This module implements that discipline
+on the same substrates (cost model, queue, metrics) so the two
+philosophies can be compared under identical workloads — an extension
+the paper's related-work section gestures at but does not evaluate.
+
+Simplifications (documented, deliberate):
+
+- capacity is a token budget (``B × L``) over resident requests — the
+  analogue of KV-cache capacity,
+- admission runs a *prefill* pass for the new requests' prompts (priced
+  by the cost model), then they join the per-step decode loop,
+- output lengths are sampled per request (decode-until-EOS stand-in)
+  from a geometric-like distribution with a configurable mean, seeded —
+  the cost model has no content to condition on,
+- admission order is a pluggable key (FCFS or utility), mirroring the
+  slot-level schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.config import BatchConfig
+from repro.engine.cost_model import GPUCostModel
+from repro.scheduling.queue import RequestQueue
+from repro.serving.metrics import ServingMetrics
+from repro.types import Request
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = ["ContinuousBatchingSimulator"]
+
+
+@dataclass
+class _Running:
+    request: Request
+    remaining_steps: int
+
+
+class ContinuousBatchingSimulator:
+    """Iteration-level serving over the analytic cost model."""
+
+    def __init__(
+        self,
+        batch: BatchConfig,
+        *,
+        cost_model: Optional[GPUCostModel] = None,
+        mean_output_tokens: float = 8.0,
+        admission: str = "fcfs",
+        seed: int = 0,
+    ):
+        if mean_output_tokens < 1:
+            raise ValueError("mean_output_tokens must be >= 1")
+        if admission not in ("fcfs", "utility"):
+            raise ValueError(f"unknown admission policy {admission!r}")
+        self.batch = batch
+        self.cost_model = cost_model or GPUCostModel.calibrated()
+        self.mean_output_tokens = mean_output_tokens
+        self.admission = admission
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+
+    def _admission_key(self) -> Callable[[Request], tuple]:
+        if self.admission == "fcfs":
+            return lambda r: (r.arrival, r.request_id)
+        return lambda r: (-r.utility, r.request_id)
+
+    def run(
+        self,
+        workload: WorkloadGenerator | Sequence[Request],
+        *,
+        horizon: Optional[float] = None,
+    ) -> ServingMetrics:
+        if hasattr(workload, "generate"):  # any workload generator (duck-typed)
+            requests = workload.generate()
+            horizon = workload.horizon if horizon is None else horizon
+        else:
+            requests = sorted(workload, key=lambda r: (r.arrival, r.request_id))
+            if horizon is None:
+                horizon = max((r.arrival for r in requests), default=0.0) + 1.0
+
+        rng = np.random.default_rng(self.seed)
+        metrics = ServingMetrics(horizon=horizon)
+        queue = RequestQueue()
+        running: list[_Running] = []
+        budget = self.batch.capacity_tokens
+        key = self._admission_key()
+
+        now = 0.0
+        next_arrival = 0
+        n = len(requests)
+
+        while now < horizon:
+            while next_arrival < n and requests[next_arrival].arrival <= now:
+                queue.add(requests[next_arrival])
+                next_arrival += 1
+            queue.expire(now)
+
+            # Admit while there is token budget.
+            used = sum(r.request.length for r in running)
+            waiting = sorted(queue.waiting(now), key=key)
+            admitted: list[Request] = []
+            for req in waiting:
+                if req.length > self.batch.row_length:
+                    continue
+                if used + req.length > budget:
+                    if self.admission == "fcfs":
+                        break  # head-of-line blocking, true to FCFS
+                    continue
+                used += req.length
+                admitted.append(req)
+            prefill_tokens = 0
+            prefill_entries = 0
+            if admitted:
+                queue.remove_served(admitted)  # leaves the wait queue
+                prefill_tokens = sum(r.length for r in admitted)
+                prefill_entries = sum(r.length**2 for r in admitted)
+                for req in admitted:
+                    steps = 1 + int(rng.geometric(1.0 / self.mean_output_tokens))
+                    running.append(_Running(req, steps))
+
+            if not running:
+                if next_arrival >= n:
+                    break
+                now = max(now, requests[next_arrival].arrival)
+                continue
+
+            # One fused iteration (Orca's selective batching): a decode
+            # step for every running request, with newly admitted prompts
+            # prefilled *inside* the same iteration at marginal cost —
+            # no extra per-batch launch/floor.
+            context = sum(r.request.length for r in running) + len(running)
+            step = (
+                self.cost_model.decode_step_time(len(running), context)
+                + self.cost_model.per_token * prefill_tokens
+                + prefill_entries / self.cost_model.attn_rate
+            )
+            now += step
+            metrics.total_engine_time += step
+            metrics.num_batches += 1  # one iteration
+
+            still: list[_Running] = []
+            for r in running:
+                r.remaining_steps -= 1
+                if r.remaining_steps <= 0:
+                    metrics.served.append(r.request)
+                    metrics.finish_times[r.request.request_id] = (
+                        r.request.arrival,
+                        now,
+                    )
+                else:
+                    still.append(r)
+            running = still
+
+        # Unfinished residents at the horizon still produced no response.
+        for r in running:
+            metrics.expired.append(r.request)
+        queue.expire(float("inf"))
+        metrics.expired.extend(queue.expired)
+        metrics.expired.extend(requests[next_arrival:])
+        return metrics

@@ -1,0 +1,103 @@
+"""Serving metrics: utility, throughput, latency, deadline misses.
+
+Matches the quantities the paper reports: *total utility* (Σ 1/l over
+requests served by their deadline — Figs. 9, 15), *serving throughput*
+(responses/second — Figs. 10–12) and the DAS overhead ratio (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.types import Request
+
+__all__ = ["ServingMetrics"]
+
+
+@dataclass
+class ServingMetrics:
+    horizon: float = 0.0
+    served: list[Request] = field(default_factory=list)
+    expired: list[Request] = field(default_factory=list)
+    # request_id -> (arrival, finish) for latency accounting.
+    finish_times: dict[int, tuple[float, float]] = field(default_factory=dict)
+    total_engine_time: float = 0.0
+    total_scheduler_time: float = 0.0
+    num_batches: int = 0
+    useful_tokens: int = 0
+    padded_tokens: int = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_utility(self) -> float:
+        """Objective of Eq. 9: Σ v_n over requests served in time."""
+        return float(sum(r.utility for r in self.served))
+
+    @property
+    def num_served(self) -> int:
+        return len(self.served)
+
+    @property
+    def num_expired(self) -> int:
+        return len(self.expired)
+
+    @property
+    def throughput(self) -> float:
+        """Responses per second over the simulated horizon."""
+        span = max(self.horizon, 1e-12)
+        return self.num_served / span
+
+    @property
+    def offered_load(self) -> int:
+        return self.num_served + self.num_expired
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.offered_load
+        return 0.0 if total == 0 else self.num_expired / total
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.finish_times:
+            return 0.0
+        lat = [f - a for a, f in self.finish_times.values()]
+        return float(np.mean(lat))
+
+    def latency_percentile(self, p: float) -> float:
+        if not self.finish_times:
+            return 0.0
+        lat = [f - a for a, f in self.finish_times.values()]
+        return float(np.percentile(lat, p))
+
+    @property
+    def padding_ratio(self) -> float:
+        total = self.useful_tokens + self.padded_tokens
+        return 0.0 if total == 0 else self.padded_tokens / total
+
+    @property
+    def scheduler_overhead_ratio(self) -> float:
+        """Fig. 16's quantity: scheduler time / engine time."""
+        if self.total_engine_time <= 0:
+            return 0.0
+        return self.total_scheduler_time / self.total_engine_time
+
+    @property
+    def mean_batch_time(self) -> float:
+        return 0.0 if self.num_batches == 0 else self.total_engine_time / self.num_batches
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict convenient for bench tables."""
+        return {
+            "utility": self.total_utility,
+            "served": float(self.num_served),
+            "expired": float(self.num_expired),
+            "throughput": self.throughput,
+            "miss_rate": self.miss_rate,
+            "mean_latency": self.mean_latency,
+            "padding_ratio": self.padding_ratio,
+            "sched_overhead": self.scheduler_overhead_ratio,
+        }

@@ -1,0 +1,151 @@
+"""TCBServer — the online serving facade (paper Fig. 3, top box).
+
+A synchronous in-process server exercising the *real* NumPy model:
+applications ``submit()`` sentences (token-id lists), the server queues
+them, and each ``step()`` runs one scheduler+engine slot, returning
+finished responses.  This is the component a deployment would put behind
+an RPC layer; the discrete-event :class:`ServingSimulator` exists for
+paper-scale sweeps where real execution is too slow.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import BatchConfig, ModelConfig, SchedulerConfig
+from repro.core.layout import BatchLayout
+from repro.core.packing import pack_in_order
+from repro.model.seq2seq import Seq2SeqModel
+from repro.scheduling.base import Scheduler
+from repro.scheduling.das import DASScheduler
+from repro.scheduling.queue import RequestQueue
+from repro.types import Request
+
+__all__ = ["TCBServer", "Response"]
+
+
+@dataclass
+class Response:
+    request_id: int
+    output_tokens: list[int]
+    submitted_at: float
+    finished_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.submitted_at
+
+
+class TCBServer:
+    """Online ConcatBatching inference server over the NumPy model."""
+
+    def __init__(
+        self,
+        model_config: Optional[ModelConfig] = None,
+        batch: Optional[BatchConfig] = None,
+        scheduler: Optional[Scheduler] = None,
+        *,
+        seed: int = 0,
+        max_new_tokens: int = 8,
+        default_slack: float = 60.0,
+    ):
+        self.model_config = model_config or ModelConfig.tiny()
+        self.batch = batch or BatchConfig(num_rows=4, row_length=32)
+        if self.batch.row_length > self.model_config.max_len:
+            raise ValueError(
+                "batch row length exceeds the model's maximum input length"
+            )
+        self.scheduler = scheduler or DASScheduler(self.batch, SchedulerConfig())
+        self.model = Seq2SeqModel(self.model_config, seed=seed)
+        self.max_new_tokens = max_new_tokens
+        self.default_slack = default_slack
+        self._queue = RequestQueue()
+        self._ids = itertools.count()
+        self._submit_times: dict[int, float] = {}
+        self._responses: dict[int, Response] = {}
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def submit(
+        self, tokens: Sequence[int], *, deadline_slack: Optional[float] = None
+    ) -> int:
+        """Enqueue one request; returns its id for :meth:`poll`."""
+        if not tokens:
+            raise ValueError("cannot submit an empty request")
+        if len(tokens) > self.batch.row_length:
+            raise ValueError(
+                f"request of {len(tokens)} tokens exceeds row length "
+                f"{self.batch.row_length}"
+            )
+        rid = next(self._ids)
+        now = self._now()
+        slack = self.default_slack if deadline_slack is None else deadline_slack
+        req = Request(
+            request_id=rid,
+            length=len(tokens),
+            arrival=now,
+            deadline=now + slack,
+            tokens=tuple(int(t) for t in tokens),
+        )
+        self._queue.add(req)
+        self._submit_times[rid] = now
+        return rid
+
+    def step(self) -> list[Response]:
+        """Run one engine slot; returns responses finished this step."""
+        now = self._now()
+        self._queue.expire(now)
+        waiting = self._queue.waiting(now)
+        if not waiting:
+            return []
+        decision = self.scheduler.select(waiting, now)
+        selected = decision.selected()
+        if not selected:
+            return []
+        packing = pack_in_order(
+            selected, self.batch.num_rows, self.batch.row_length
+        )
+        layout = packing.layout
+        gen = self.model.greedy_decode(layout, max_new_tokens=self.max_new_tokens)
+        self._queue.remove_served(packing.packed)
+        finished_at = self._now()
+        out: list[Response] = []
+        for req in packing.packed:
+            resp = Response(
+                request_id=req.request_id,
+                output_tokens=gen.outputs[req.request_id],
+                submitted_at=self._submit_times[req.request_id],
+                finished_at=finished_at,
+            )
+            self._responses[req.request_id] = resp
+            out.append(resp)
+        return out
+
+    def poll(self, request_id: int) -> Optional[Response]:
+        """Fetch a finished response (None while pending)."""
+        return self._responses.get(request_id)
+
+    def run_until_drained(self, max_steps: int = 1000) -> list[Response]:
+        """Keep stepping until the queue is empty; returns all responses."""
+        all_out: list[Response] = []
+        for _ in range(max_steps):
+            if not len(self._queue):
+                break
+            out = self.step()
+            all_out.extend(out)
+            if not out and not len(self._queue):
+                break
+        return all_out
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

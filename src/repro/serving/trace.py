@@ -1,0 +1,94 @@
+"""Serving observability: structured slot traces and timeline analysis.
+
+Wraps a :class:`~repro.serving.simulator.SimulationResult` recorded with
+``record_slots=True`` into analysable/exportable form:
+
+- :func:`slot_records` — one flat dict per engine slot (start time,
+  latency, requests served, padding, scheduler runtime),
+- :func:`timeline` — queue depth and cumulative served/expired counts
+  sampled over the horizon,
+- :func:`to_jsonl` — newline-delimited JSON for external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+import numpy as np
+
+from repro.serving.simulator import SimulationResult
+from repro.types import Request
+
+__all__ = ["slot_records", "timeline", "to_jsonl"]
+
+
+def slot_records(result: SimulationResult) -> list[dict]:
+    """Flatten the recorded slots (requires ``record_slots=True``)."""
+    records = []
+    for t_start, decision, batch in result.slots:
+        useful = batch.stats.useful_tokens
+        padded = batch.stats.padded_tokens
+        records.append(
+            {
+                "t_start": t_start,
+                "latency": batch.latency,
+                "num_selected": decision.num_selected,
+                "num_served": batch.num_served,
+                "num_rejected": len(batch.rejected),
+                "slot_size": decision.slot_size,
+                "scheduler_runtime": decision.runtime,
+                "useful_tokens": useful,
+                "padded_tokens": padded,
+                "utilisation": (
+                    useful / (useful + padded) if useful + padded else 0.0
+                ),
+            }
+        )
+    return records
+
+
+def timeline(
+    result: SimulationResult,
+    workload: Sequence[Request],
+    *,
+    num_points: int = 50,
+) -> dict[str, list[float]]:
+    """Queue depth + cumulative served/expired over the horizon.
+
+    ``workload`` must be the same request trace the simulation ran.
+    Queue depth at time t = arrived(t) − served-by(t) − expired-by(t),
+    with served times taken from the metrics' finish times and expiries
+    at their deadlines.
+    """
+    if num_points < 2:
+        raise ValueError("num_points must be >= 2")
+    m = result.metrics
+    horizon = m.horizon
+    ts = np.linspace(0.0, horizon, num_points)
+
+    arrivals = np.sort([r.arrival for r in workload])
+    finish = np.sort([f for _, f in m.finish_times.values()])
+    expiries = np.sort(
+        [min(r.deadline, horizon) for r in m.expired]
+    )
+
+    queue, served_c, expired_c = [], [], []
+    for t in ts:
+        a = int(np.searchsorted(arrivals, t, side="right"))
+        s = int(np.searchsorted(finish, t, side="right"))
+        e = int(np.searchsorted(expiries, t, side="right"))
+        served_c.append(float(s))
+        expired_c.append(float(e))
+        queue.append(float(max(0, a - s - e)))
+    return {
+        "t": [float(t) for t in ts],
+        "queue_depth": queue,
+        "served_cum": served_c,
+        "expired_cum": expired_c,
+    }
+
+
+def to_jsonl(result: SimulationResult) -> str:
+    """Slot records as newline-delimited JSON."""
+    return "\n".join(json.dumps(rec) for rec in slot_records(result))

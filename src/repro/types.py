@@ -1,0 +1,161 @@
+"""Common value types shared across the TCB reproduction.
+
+The central object is :class:`Request`, modelling one inference request as
+described in §5.1 of the paper: an arrival time ``a_n``, a deadline ``d_n``,
+a sentence of length ``l_n``, and the derived utility ``v_n = 1 / l_n``.
+
+Everything here is a plain frozen dataclass so that requests can be hashed,
+stored in sets, and passed freely between the scheduler, the batching
+layer and the inference engines without defensive copying.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Request",
+    "RequestBatchStats",
+    "make_requests",
+    "total_utility",
+    "total_tokens",
+]
+
+_id_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Request:
+    """A single inference request (paper §5.1).
+
+    Parameters
+    ----------
+    request_id:
+        Unique id (unique within one workload / simulation run).
+    length:
+        Number of tokens ``l_n`` in the request's sentence.  Must be >= 1.
+    arrival:
+        Arrival time ``a_n`` in seconds (simulation clock).
+    deadline:
+        Response deadline ``d_n`` in seconds.  A request may only be
+        scheduled in the window ``[arrival, deadline]``.
+    tokens:
+        Optional concrete token ids.  Engines running the real NumPy
+        transformer need them; the analytic cost model only needs
+        ``length``.  Stored as a tuple so the dataclass stays hashable.
+    weight:
+        Priority weight (extension beyond the paper; default 1.0
+        reproduces §5.1 exactly).  Utility becomes ``w_n / l_n``, so a
+        premium tenant's requests outrank same-length standard ones in
+        DAS without any scheduler change.
+    """
+
+    request_id: int
+    length: int
+    arrival: float = 0.0
+    deadline: float = float("inf")
+    tokens: Optional[tuple[int, ...]] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError(f"request length must be >= 1, got {self.length}")
+        if self.deadline < self.arrival:
+            raise ValueError(
+                f"deadline {self.deadline} precedes arrival {self.arrival}"
+            )
+        if self.tokens is not None and len(self.tokens) != self.length:
+            raise ValueError(
+                f"tokens has {len(self.tokens)} entries but length={self.length}"
+            )
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+    @property
+    def utility(self) -> float:
+        """Utility value ``v_n = w_n / l_n`` (paper §5.1 at w=1)."""
+        return self.weight / self.length
+
+    def is_available(self, t: float) -> bool:
+        """Whether the request may be scheduled at time ``t`` (Eq. 12)."""
+        return self.arrival <= t <= self.deadline
+
+    def with_tokens(self, tokens: Sequence[int]) -> "Request":
+        """Return a copy carrying concrete token ids."""
+        return Request(
+            request_id=self.request_id,
+            length=self.length,
+            arrival=self.arrival,
+            deadline=self.deadline,
+            tokens=tuple(int(t) for t in tokens),
+            weight=self.weight,
+        )
+
+
+@dataclass
+class RequestBatchStats:
+    """Padding / utilisation accounting for one executed batch."""
+
+    num_requests: int = 0
+    useful_tokens: int = 0
+    padded_tokens: int = 0
+    rows: int = 0
+    row_width: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.useful_tokens + self.padded_tokens
+
+    @property
+    def padding_ratio(self) -> float:
+        total = self.total_tokens
+        return 0.0 if total == 0 else self.padded_tokens / total
+
+    @property
+    def utilisation(self) -> float:
+        return 1.0 - self.padding_ratio
+
+
+def make_requests(
+    lengths: Iterable[int],
+    *,
+    arrivals: Optional[Iterable[float]] = None,
+    deadlines: Optional[Iterable[float]] = None,
+    start_id: Optional[int] = None,
+) -> list[Request]:
+    """Convenience constructor for a list of requests.
+
+    ``arrivals`` / ``deadlines`` default to 0 / +inf.  ``start_id`` pins the
+    first id (otherwise a process-global counter is used so ids never
+    collide across calls).
+    """
+    lengths = list(lengths)
+    arr = list(arrivals) if arrivals is not None else [0.0] * len(lengths)
+    ddl = (
+        list(deadlines)
+        if deadlines is not None
+        else [float("inf")] * len(lengths)
+    )
+    if not (len(lengths) == len(arr) == len(ddl)):
+        raise ValueError("lengths, arrivals, deadlines must have equal sizes")
+    if start_id is not None:
+        ids = range(start_id, start_id + len(lengths))
+    else:
+        ids = (next(_id_counter) for _ in lengths)
+    return [
+        Request(request_id=i, length=int(l), arrival=float(a), deadline=float(d))
+        for i, l, a, d in zip(ids, lengths, arr, ddl)
+    ]
+
+
+def total_utility(requests: Iterable[Request]) -> float:
+    """Sum of ``1/l_n`` over the given requests (objective, Eq. 9)."""
+    return float(sum(r.utility for r in requests))
+
+
+def total_tokens(requests: Iterable[Request]) -> int:
+    return int(sum(r.length for r in requests))

@@ -1,0 +1,26 @@
+"""Workload generation for serving experiments (paper §6.1–6.2).
+
+The paper generates requests "with 3−100 tokens according to a normal
+distribution" arriving "as a Poisson process".  This package reproduces
+that exactly (:class:`~repro.workload.generator.WorkloadGenerator`) and
+adds the high-variance synthetic stand-ins for the ParaCrawl / GLUE-DIA
+length profiles the introduction motivates
+(:mod:`repro.workload.traces`).
+"""
+
+from repro.workload.generator import LengthDistribution, WorkloadGenerator
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.traces import (
+    glue_dia_like,
+    paracrawl_like,
+    paper_default,
+)
+
+__all__ = [
+    "LengthDistribution",
+    "WorkloadGenerator",
+    "DeadlineModel",
+    "paper_default",
+    "paracrawl_like",
+    "glue_dia_like",
+]

@@ -1,0 +1,34 @@
+"""Deadline (SLA) models for generated requests.
+
+The paper associates every request with a deadline but does not specify
+the slack distribution; we model ``deadline = arrival + base + per_token
+· length + U(0, jitter)`` — a fixed SLA term, an optional size-dependent
+term, and uniform jitter so deadlines are not all tied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeadlineModel"]
+
+
+@dataclass(frozen=True)
+class DeadlineModel:
+    base_slack: float = 1.0
+    slack_per_token: float = 0.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_slack < 0 or self.slack_per_token < 0 or self.jitter < 0:
+            raise ValueError("deadline model parameters must be non-negative")
+
+    def deadline(
+        self, arrival: float, length: int, rng: np.random.Generator
+    ) -> float:
+        slack = self.base_slack + self.slack_per_token * length
+        if self.jitter > 0:
+            slack += float(rng.uniform(0.0, self.jitter))
+        return arrival + slack

@@ -1,0 +1,74 @@
+"""Workload trace persistence: save/load request traces as JSONL.
+
+Reproducible comparisons need the *same* request trace across systems
+and sessions; these helpers serialise any request list (including
+corpus-derived ones with token ids) to newline-delimited JSON and back,
+bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.types import Request
+
+__all__ = ["save_trace", "load_trace", "trace_to_jsonl", "trace_from_jsonl"]
+
+
+def trace_to_jsonl(requests: Sequence[Request]) -> str:
+    """Serialise requests (sorted by arrival) to JSONL text."""
+    lines = []
+    for r in sorted(requests, key=lambda r: (r.arrival, r.request_id)):
+        rec = {
+            "id": r.request_id,
+            "length": r.length,
+            "arrival": r.arrival,
+            "deadline": r.deadline if r.deadline != float("inf") else None,
+            "weight": r.weight,
+        }
+        if r.tokens is not None:
+            rec["tokens"] = list(r.tokens)
+        lines.append(json.dumps(rec))
+    return "\n".join(lines)
+
+
+def trace_from_jsonl(text: str) -> list[Request]:
+    """Parse JSONL text back into requests."""
+    out: list[Request] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad trace line {lineno}: {exc}") from exc
+        out.append(
+            Request(
+                request_id=int(rec["id"]),
+                length=int(rec["length"]),
+                arrival=float(rec["arrival"]),
+                deadline=(
+                    float(rec["deadline"])
+                    if rec.get("deadline") is not None
+                    else float("inf")
+                ),
+                tokens=(
+                    tuple(int(t) for t in rec["tokens"])
+                    if "tokens" in rec
+                    else None
+                ),
+                weight=float(rec.get("weight", 1.0)),
+            )
+        )
+    return out
+
+
+def save_trace(requests: Sequence[Request], path: Union[str, Path]) -> None:
+    Path(path).write_text(trace_to_jsonl(requests) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> list[Request]:
+    return trace_from_jsonl(Path(path).read_text())

@@ -1,0 +1,64 @@
+"""Named synthetic traces standing in for the paper's datasets.
+
+The paper motivates ConcatBatching with workloads "highly variable in
+length" such as ParaCrawl [3] and the GLUE diagnostic set (DIA) [33].
+We cannot ship those corpora, so these constructors produce length
+profiles with the same qualitative property (heavy tails / bimodality) —
+what matters to every experiment is the *length distribution*, not the
+text (see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.generator import LengthDistribution, WorkloadGenerator
+
+__all__ = ["paper_default", "paracrawl_like", "glue_dia_like"]
+
+
+def paper_default(
+    rate: float,
+    *,
+    spread: float = 20.0,
+    horizon: float = 10.0,
+    seed: int = 0,
+    base_slack: float = 1.0,
+) -> WorkloadGenerator:
+    """§6.2.1 workload: lengths 3–100, average 20, Poisson arrivals."""
+    return WorkloadGenerator(
+        rate=rate,
+        lengths=LengthDistribution(
+            family="normal", mean=20.0, spread=spread, low=3, high=100
+        ),
+        deadlines=DeadlineModel(base_slack=base_slack),
+        horizon=horizon,
+        seed=seed,
+    )
+
+
+def paracrawl_like(
+    rate: float, *, horizon: float = 10.0, seed: int = 0
+) -> WorkloadGenerator:
+    """Heavy-tailed web-crawl-style lengths (lognormal, median ≈ 18)."""
+    return WorkloadGenerator(
+        rate=rate,
+        lengths=LengthDistribution(
+            family="lognormal", mean=18.0, spread=30.0, low=3, high=400
+        ),
+        horizon=horizon,
+        seed=seed,
+    )
+
+
+def glue_dia_like(
+    rate: float, *, horizon: float = 10.0, seed: int = 0
+) -> WorkloadGenerator:
+    """Bimodal short/long mixture (GLUE diagnostic-style)."""
+    return WorkloadGenerator(
+        rate=rate,
+        lengths=LengthDistribution(
+            family="bimodal", mean=50.0, spread=12.0, low=3, high=120
+        ),
+        horizon=horizon,
+        seed=seed,
+    )

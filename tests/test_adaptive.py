@@ -1,0 +1,75 @@
+"""Tests for AdaptiveEngine (cost-guided plan selection)."""
+
+import pytest
+
+from repro.config import BatchConfig
+from repro.engine.adaptive import AdaptiveEngine
+from repro.engine.concat import ConcatEngine
+from repro.engine.slotted import SlottedConcatEngine
+from repro.engine.turbo import TurboEngine
+from repro.types import make_requests
+
+
+@pytest.fixture()
+def batch():
+    return BatchConfig(num_rows=32, row_length=400)
+
+
+class TestAdaptiveEngine:
+    def test_never_slower_than_pure_concat(self, batch):
+        reqs = make_requests([100] * 128, start_id=0)
+        adaptive = AdaptiveEngine(batch).serve(list(reqs))
+        pure = ConcatEngine(batch).serve(list(reqs))
+        assert adaptive.num_served == pure.num_served
+        assert adaptive.latency <= pure.latency + 1e-12
+
+    def test_never_slower_than_turbo(self, batch):
+        reqs = make_requests([10] * 20 + [390] * 10, start_id=0)
+        adaptive = AdaptiveEngine(batch).serve(list(reqs))
+        turbo = TurboEngine(batch).serve(list(reqs))
+        assert adaptive.num_served >= turbo.num_served
+        if adaptive.num_served == turbo.num_served:
+            assert adaptive.latency <= turbo.latency + 1e-12
+
+    def test_picks_slotted_for_uniform_full_batch(self, batch):
+        # Uniform 100-token requests filling 400-token rows: slotting is
+        # strictly cheaper (Fig. 14's regime).
+        reqs = make_requests([100] * 128, start_id=0)
+        eng = AdaptiveEngine(batch)
+        eng.serve(list(reqs))
+        assert eng.last_choice == "slotted"
+
+    def test_prefers_serving_everyone(self, batch):
+        # 300-token requests don't fit 50-token slots; a complete plan
+        # (pure concat / turbo) must win over a rejecting slotted plan.
+        reqs = make_requests([300] * 8, start_id=0)
+        result = AdaptiveEngine(batch, slot_counts=(8,)).serve(list(reqs))
+        assert result.num_served == 8
+        assert not result.rejected
+
+    def test_all_oversize(self, batch):
+        reqs = make_requests([500] * 3, start_id=0)
+        result = AdaptiveEngine(batch).serve(list(reqs))
+        assert result.num_served == 0
+        assert len(result.rejected) == 3
+
+    def test_empty(self, batch):
+        assert AdaptiveEngine(batch).serve([]).num_served == 0
+
+    def test_beats_every_fixed_scheme_somewhere(self, batch):
+        """Adaptivity pays: across two workload shapes, adaptive matches
+        the per-shape winner while each fixed scheme loses one."""
+        uniform = make_requests([100] * 128, start_id=0)
+        mixed = make_requests([15] * 40 + [380] * 12, start_id=1000)
+        engines = {
+            "concat": ConcatEngine(batch),
+            "slotted8": SlottedConcatEngine(batch, num_slots=8),
+        }
+        for workload in (uniform, mixed):
+            adaptive = AdaptiveEngine(batch).serve(list(workload))
+            for eng in engines.values():
+                fixed = eng.serve(list(workload))
+                if fixed.num_served == adaptive.num_served:
+                    assert adaptive.latency <= fixed.latency + 1e-12
+                else:
+                    assert adaptive.num_served >= fixed.num_served

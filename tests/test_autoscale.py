@@ -1,0 +1,101 @@
+"""Tests for the autoscaling cluster simulator."""
+
+import pytest
+
+from repro.config import BatchConfig, SchedulerConfig
+from repro.engine.concat import ConcatEngine
+from repro.scheduling.das import DASScheduler
+from repro.serving.autoscale import AutoscalingSimulator
+from repro.serving.cluster import ClusterSimulator
+from repro.workload.burst import BurstyWorkload
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.generator import LengthDistribution, WorkloadGenerator
+
+
+BATCH = BatchConfig(num_rows=8, row_length=50)
+
+
+def _sim(**kw):
+    defaults = dict(
+        min_engines=1,
+        max_engines=6,
+        high_watermark=800.0,
+        low_watermark=100.0,
+        startup_delay=0.2,
+    )
+    defaults.update(kw)
+    return AutoscalingSimulator(
+        DASScheduler(BATCH, SchedulerConfig()),
+        lambda: ConcatEngine(BATCH),
+        **defaults,
+    )
+
+
+def _workload(rate, seed=0, horizon=6.0):
+    return WorkloadGenerator(
+        rate=rate,
+        lengths=LengthDistribution(family="normal", mean=15, spread=8, low=3, high=50),
+        deadlines=DeadlineModel(base_slack=3.0, jitter=1.0),
+        horizon=horizon,
+        seed=seed,
+    )
+
+
+class TestAutoscaling:
+    def test_scales_up_under_load(self):
+        sim = _sim()
+        sim.run(_workload(rate=800.0))
+        assert any(ev.action == "up" for ev in sim.events)
+        assert sim.peak_engines > 1
+
+    def test_never_exceeds_max(self):
+        sim = _sim(max_engines=3)
+        sim.run(_workload(rate=2000.0))
+        assert sim.peak_engines <= 3
+
+    def test_quiet_load_stays_at_min(self):
+        sim = _sim()
+        sim.run(_workload(rate=10.0))
+        assert sim.peak_engines == 1
+        assert not sim.events
+
+    def test_scales_down_after_burst(self):
+        wl = BurstyWorkload(
+            rate=400.0,
+            burst_factor=8.0,
+            mean_state_duration=1.0,
+            lengths=LengthDistribution(family="normal", mean=15, spread=8, low=3, high=50),
+            deadlines=DeadlineModel(base_slack=3.0, jitter=1.0),
+            horizon=8.0,
+            seed=3,
+        )
+        sim = _sim(low_watermark=300.0)
+        sim.run(wl)
+        actions = [ev.action for ev in sim.events]
+        assert "up" in actions
+        assert "down" in actions
+
+    def test_beats_fixed_min_cluster_under_load(self):
+        wl = _workload(rate=1000.0)
+        fixed = ClusterSimulator(
+            DASScheduler(BATCH, SchedulerConfig()), [ConcatEngine(BATCH)]
+        ).run(wl).metrics
+        auto_sim = _sim(max_engines=6)
+        auto = auto_sim.run(wl)
+        assert auto.num_served > fixed.num_served
+
+    def test_conservation(self):
+        wl = _workload(rate=600.0)
+        n = len(wl.generate())
+        m = _sim().run(wl)
+        assert m.num_served + m.num_expired == n
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            _sim(min_engines=0)
+        with pytest.raises(ValueError):
+            _sim(min_engines=5, max_engines=2)
+        with pytest.raises(ValueError):
+            _sim(high_watermark=100.0, low_watermark=200.0)
+        with pytest.raises(ValueError):
+            _sim(startup_delay=-1.0)

@@ -1,0 +1,122 @@
+"""Tests for baseline schedulers and the request queue."""
+
+import pytest
+
+from repro.config import BatchConfig
+from repro.scheduling.baselines import (
+    DEFScheduler,
+    FCFSScheduler,
+    GreedyOrderScheduler,
+    SJFScheduler,
+)
+from repro.scheduling.queue import RequestQueue
+from repro.types import Request, make_requests
+
+
+def _batch(rows=2, L=10):
+    return BatchConfig(num_rows=rows, row_length=L)
+
+
+class TestOrderingPolicies:
+    def test_fcfs_takes_earliest_arrivals(self):
+        reqs = make_requests([3, 3, 3], arrivals=[2.0, 0.0, 1.0], start_id=0)
+        d = FCFSScheduler(_batch(rows=1, L=6)).select(reqs)
+        assert [r.request_id for r in d.selected()] == [1, 2]
+
+    def test_sjf_takes_shortest(self):
+        reqs = make_requests([5, 2, 4, 3], start_id=0)
+        d = SJFScheduler(_batch(rows=1, L=5)).select(reqs)
+        assert [r.request_id for r in d.selected()] == [1, 3]
+
+    def test_def_takes_earliest_deadline(self):
+        reqs = make_requests(
+            [3, 3, 3], deadlines=[9.0, 1.0, 5.0], start_id=0
+        )
+        d = DEFScheduler(_batch(rows=1, L=6)).select(reqs)
+        assert [r.request_id for r in d.selected()] == [1, 2]
+
+    def test_concat_aware_fills_rows(self):
+        reqs = make_requests([4] * 6, start_id=0)
+        d = SJFScheduler(_batch(rows=2, L=8)).select(reqs)
+        assert d.num_selected == 4  # two per row
+
+    def test_concat_unaware_one_per_row(self):
+        reqs = make_requests([4] * 6, start_id=0)
+        d = SJFScheduler(_batch(rows=2, L=8), concat_aware=False).select(reqs)
+        assert d.num_selected == 2
+        assert all(len(row) == 1 for row in d.rows)
+
+    def test_oversize_never_selected(self):
+        reqs = make_requests([20, 3], start_id=0)
+        d = FCFSScheduler(_batch(rows=2, L=10)).select(reqs)
+        assert [r.request_id for r in d.selected()] == [reqs[1].request_id]
+
+    def test_decisions_validate(self):
+        reqs = make_requests([3, 7, 2, 9, 5, 1], start_id=0)
+        for sched in (
+            FCFSScheduler(_batch()),
+            SJFScheduler(_batch()),
+            DEFScheduler(_batch()),
+            SJFScheduler(_batch(), concat_aware=False),
+        ):
+            d = sched.select(reqs)
+            d.validate(sched.batch)
+
+
+class TestRequestQueue:
+    def test_add_and_waiting(self):
+        q = RequestQueue()
+        q.extend(make_requests([3, 4], arrivals=[0.0, 5.0], start_id=0))
+        assert len(q) == 2
+        assert [r.request_id for r in q.waiting(1.0)] == [0]
+        assert len(q.waiting(6.0)) == 2
+
+    def test_duplicate_rejected(self):
+        q = RequestQueue()
+        r = Request(request_id=1, length=3)
+        q.add(r)
+        with pytest.raises(ValueError, match="duplicate"):
+            q.add(r)
+
+    def test_expire_is_strict(self):
+        q = RequestQueue()
+        q.add(Request(request_id=0, length=3, deadline=5.0))
+        assert q.expire(5.0) == []  # closed interval: still schedulable
+        dead = q.expire(5.01)
+        assert [r.request_id for r in dead] == [0]
+        assert len(q) == 0
+        assert len(q.expired) == 1
+
+    def test_remove_served(self):
+        q = RequestQueue()
+        reqs = make_requests([3, 4], start_id=0)
+        q.extend(reqs)
+        q.remove_served([reqs[0]])
+        assert len(q) == 1
+        assert reqs[0].request_id in q.served_ids
+
+    def test_remove_unknown_raises(self):
+        q = RequestQueue()
+        with pytest.raises(KeyError):
+            q.remove_served([Request(request_id=9, length=3)])
+
+    def test_served_id_cannot_reenter(self):
+        q = RequestQueue()
+        r = Request(request_id=0, length=3)
+        q.add(r)
+        q.remove_served([r])
+        with pytest.raises(ValueError, match="duplicate"):
+            q.add(r)
+
+    def test_drop_records_failures(self):
+        q = RequestQueue()
+        reqs = make_requests([3, 4], start_id=0)
+        q.extend(reqs)
+        q.drop([reqs[1]])
+        assert len(q) == 1
+        assert [r.request_id for r in q.expired] == [reqs[1].request_id]
+
+    def test_drop_ignores_missing(self):
+        q = RequestQueue()
+        q.drop([Request(request_id=5, length=3)])
+        assert q.expired == []

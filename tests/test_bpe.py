@@ -1,0 +1,138 @@
+"""Tests for the BPE tokenizer and corpus workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.bpe import BPETokenizer
+from repro.workload.corpus import CorpusWorkload, synthetic_corpus
+
+CORPUS = [
+    "low lower lowest",
+    "new newer newest",
+    "wide wider widest",
+    "low low low new new wide",
+]
+
+
+@pytest.fixture(scope="module")
+def tok():
+    return BPETokenizer().train(CORPUS, num_merges=60)
+
+
+class TestTraining:
+    def test_learns_merges(self, tok):
+        assert len(tok.merges) > 0
+        assert tok.vocab_size > 4  # specials + symbols
+
+    def test_training_is_deterministic(self):
+        a = BPETokenizer().train(CORPUS, num_merges=30)
+        b = BPETokenizer().train(CORPUS, num_merges=30)
+        assert a.merges == b.merges
+        assert a.vocab == b.vocab
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            BPETokenizer().train([])
+
+    def test_zero_merges_is_character_model(self):
+        t = BPETokenizer().train(CORPUS, num_merges=0)
+        ids = t.encode("low")
+        # l, o, w, </w> → 4 symbols (no merges applied).
+        assert len(ids) == 4
+
+    def test_negative_merges_rejected(self):
+        with pytest.raises(ValueError):
+            BPETokenizer().train(CORPUS, num_merges=-1)
+
+    def test_frequent_words_become_few_tokens(self, tok):
+        # "low" appears 5 times — should compress well below characters.
+        assert len(tok.encode("low")) < 4
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self, tok):
+        for text in ("low lower", "newest wide", "low low low"):
+            assert tok.decode(tok.encode(text)) == text
+
+    def test_unknown_chars_fall_back_to_unk(self, tok):
+        ids = tok.encode("zzz")
+        assert BPETokenizer.UNK in ids
+
+    def test_specials_skipped_in_decode(self, tok):
+        ids = [tok.BOS, *tok.encode("low"), tok.EOS, *tok.encode("wide")]
+        assert tok.decode(ids) == "low"  # EOS terminates
+
+    def test_token_length_matches_encode(self, tok):
+        for text in CORPUS:
+            assert tok.token_length(text) == len(tok.encode(text))
+
+    def test_untrained_encode_rejected(self):
+        with pytest.raises(RuntimeError, match="not trained"):
+            BPETokenizer().encode("low")
+
+    @given(st.lists(st.sampled_from("low lower lowest new wide".split()), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip_known_words(self, tok, words):
+        text = " ".join(words)
+        assert tok.decode(tok.encode(text)) == text
+
+
+class TestSyntheticCorpus:
+    def test_shape_and_determinism(self):
+        a = synthetic_corpus(50, seed=3)
+        b = synthetic_corpus(50, seed=3)
+        assert a == b
+        assert len(a) == 50
+        assert all(2 <= len(s.split()) <= 30 for s in a)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            synthetic_corpus(0)
+        with pytest.raises(ValueError):
+            synthetic_corpus(5, min_words=5, max_words=2)
+
+
+class TestCorpusWorkload:
+    def test_requests_carry_tokens(self):
+        wl = CorpusWorkload(synthetic_corpus(80, seed=1), rate=50.0, horizon=2.0)
+        reqs = wl.generate()
+        assert reqs, "expected at least one arrival"
+        for r in reqs:
+            assert r.tokens is not None
+            assert len(r.tokens) == r.length
+            assert r.deadline > r.arrival
+
+    def test_lengths_match_tokenizer(self):
+        corpus = synthetic_corpus(40, seed=2)
+        wl = CorpusWorkload(corpus, rate=80.0, horizon=1.0, seed=5)
+        stats = wl.length_stats()
+        assert stats["min"] >= 1
+        assert stats["mean"] > stats["min"]
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            CorpusWorkload([], rate=10.0)
+
+    def test_end_to_end_through_real_model(self, tiny_config):
+        """Corpus → BPE → requests → ConcatBatching → NumPy transformer."""
+        from repro.core.packing import pack_first_fit
+        from repro.model.seq2seq import Seq2SeqModel
+
+        corpus = synthetic_corpus(30, seed=4, max_words=6)
+        wl = CorpusWorkload(corpus, rate=30.0, horizon=1.0, num_merges=40)
+        reqs = [r for r in wl.generate() if r.length <= 24][:6]
+        assert reqs
+        # Remap ids into the tiny model's vocab range.
+        vocab = wl.tokenizer.vocab_size
+        model_cfg = tiny_config
+        reqs = [
+            r.with_tokens([4 + (t % (model_cfg.vocab_size - 4)) for t in r.tokens])
+            for r in reqs
+        ]
+        layout = pack_first_fit(reqs, num_rows=2, row_length=32).layout
+        model = Seq2SeqModel(model_cfg, seed=0)
+        enc = model.encode_layout(layout)
+        for k, seg in layout.segments():
+            ref = model.encode_single(seg.request.tokens)[0]
+            assert np.allclose(enc[k, seg.start : seg.end], ref, atol=1e-9)

@@ -1,0 +1,73 @@
+"""Tests for the encoder-only classifier substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import BatchLayout
+from repro.core.packing import pack_first_fit
+from repro.core.slotting import pack_into_slots
+from repro.engine.cost_model import GPUCostModel
+from repro.model.classifier import ClassifierModel
+
+
+@pytest.fixture(scope="module")
+def clf(tiny_config):
+    return ClassifierModel(tiny_config, num_classes=4, seed=3)
+
+
+def _layout(reqs, rows=2, cap=16):
+    res = pack_first_fit(reqs, num_rows=rows, row_length=cap)
+    assert not res.rejected
+    return res.layout
+
+
+class TestClassifier:
+    def test_concat_classification_equals_isolated(self, clf, tokenized_requests):
+        """The §4.1 correctness claim for classification services."""
+        reqs = tokenized_requests([5, 3, 7, 2, 6])
+        layout = _layout(reqs)
+        joint = clf.classify(layout)
+        for r in reqs:
+            assert joint[r.request_id] == clf.classify_single(r.tokens)
+
+    def test_logits_exact_not_just_argmax(self, clf, tokenized_requests):
+        reqs = tokenized_requests([4, 6])
+        layout = _layout(reqs, rows=1)
+        joint = clf.logits(layout)
+        for r in reqs:
+            states = clf._backbone.encode_single(r.tokens)[0]
+            ref = states.mean(axis=0) @ clf.head_w + clf.head_b
+            np.testing.assert_allclose(joint[r.request_id], ref, atol=1e-9)
+
+    def test_slotted_layout_same_labels(self, clf, tokenized_requests):
+        reqs = tokenized_requests([3, 4, 2, 4])
+        res = pack_into_slots(reqs, num_rows=2, row_length=8, slot_size=4)
+        labels = clf.classify(res.layout)
+        for r in reqs:
+            assert labels[r.request_id] == clf.classify_single(r.tokens)
+
+    def test_labels_in_range(self, clf, tokenized_requests):
+        reqs = tokenized_requests([5, 5, 5])
+        labels = clf.classify(_layout(reqs, rows=1))
+        assert all(0 <= l < 4 for l in labels.values())
+
+    def test_num_classes_validated(self, tiny_config):
+        with pytest.raises(ValueError, match="num_classes"):
+            ClassifierModel(tiny_config, num_classes=1)
+
+    def test_deterministic_by_seed(self, tiny_config, tokenized_requests):
+        reqs = tokenized_requests([4, 5])
+        layout = _layout(reqs, rows=1)
+        a = ClassifierModel(tiny_config, 3, seed=9).classify(layout)
+        b = ClassifierModel(tiny_config, 3, seed=9).classify(layout)
+        assert a == b
+
+    def test_encoder_only_batches_are_cheaper(self, tokenized_requests):
+        """Classification slots skip the decode pass in the cost model."""
+        cm = GPUCostModel.calibrated()
+        reqs = tokenized_requests([10] * 8)
+        layout = _layout(reqs, rows=2, cap=40)
+        enc_only = cm.layout_time(layout, include_decode=False)
+        with_decode = cm.layout_time(layout, include_decode=True)
+        assert enc_only < with_decode
+        assert with_decode == pytest.approx(enc_only * (1 + cm.decode_factor))

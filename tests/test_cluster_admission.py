@@ -1,0 +1,135 @@
+"""Tests for the cluster simulator and admission control."""
+
+import pytest
+
+from repro.config import BatchConfig
+from repro.engine.concat import ConcatEngine
+from repro.engine.cost_model import GPUCostModel
+from repro.scheduling.baselines import FCFSScheduler
+from repro.serving.admission import AdmissionController
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.simulator import ServingSimulator
+from repro.types import Request, make_requests
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.generator import LengthDistribution, WorkloadGenerator
+
+
+def _batch(rows=4, L=20):
+    return BatchConfig(num_rows=rows, row_length=L)
+
+
+def _workload(rate=200.0, horizon=3.0, seed=0, base_slack=1.0):
+    return WorkloadGenerator(
+        rate=rate,
+        lengths=LengthDistribution(family="normal", mean=8, spread=4, low=3, high=20),
+        deadlines=DeadlineModel(base_slack=base_slack, jitter=0.5),
+        horizon=horizon,
+        seed=seed,
+    )
+
+
+class TestClusterSimulator:
+    def test_single_engine_matches_plain_simulator(self):
+        wl = _workload()
+        single = ServingSimulator(FCFSScheduler(_batch()), ConcatEngine(_batch()))
+        cluster = ClusterSimulator(FCFSScheduler(_batch()), [ConcatEngine(_batch())])
+        m1 = single.run(wl).metrics
+        m2 = cluster.run(wl).metrics
+        assert m1.num_served == m2.num_served
+        assert m1.total_utility == pytest.approx(m2.total_utility)
+
+    def test_more_engines_serve_more_under_overload(self):
+        wl = _workload(rate=600.0, horizon=4.0)
+        served = []
+        for g in (1, 2, 4):
+            sim = ClusterSimulator(
+                FCFSScheduler(_batch()),
+                [ConcatEngine(_batch()) for _ in range(g)],
+            )
+            served.append(sim.run(wl).metrics.num_served)
+        assert served[1] > served[0]
+        assert served[2] > served[1]
+
+    def test_scaling_sublinear_near_capacity(self):
+        """Once the cluster exceeds the offered load, extra engines idle."""
+        wl = _workload(rate=50.0, horizon=4.0, base_slack=5.0)
+        m4 = ClusterSimulator(
+            FCFSScheduler(_batch()), [ConcatEngine(_batch()) for _ in range(4)]
+        ).run(wl).metrics
+        m8 = ClusterSimulator(
+            FCFSScheduler(_batch()), [ConcatEngine(_batch()) for _ in range(8)]
+        ).run(wl).metrics
+        assert m8.num_served <= m4.num_served * 1.1
+
+    def test_conservation(self):
+        wl = _workload(rate=400.0)
+        n = len(wl.generate())
+        m = ClusterSimulator(
+            FCFSScheduler(_batch()), [ConcatEngine(_batch()) for _ in range(3)]
+        ).run(wl).metrics
+        assert m.num_served + m.num_expired == n
+
+    def test_requires_engines(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ClusterSimulator(FCFSScheduler(_batch()), [])
+
+
+class TestAdmissionController:
+    def _ctrl(self, **kw):
+        return AdmissionController(batch=_batch(), **kw)
+
+    def test_oversize_rejected(self):
+        ctrl = self._ctrl()
+        r = Request(request_id=0, length=50, deadline=100.0)
+        d = ctrl.check(r, now=0.0)
+        assert not d.admitted
+        assert "row" in d.reason
+
+    def test_unreachable_deadline_rejected(self):
+        ctrl = self._ctrl()
+        r = Request(request_id=0, length=10, arrival=0.0, deadline=1e-6)
+        d = ctrl.check(r, now=0.0)
+        assert not d.admitted
+        assert "deadline" in d.reason
+
+    def test_feasible_admitted(self):
+        ctrl = self._ctrl()
+        r = Request(request_id=0, length=10, deadline=100.0)
+        assert ctrl.check(r, now=0.0).admitted
+
+    def test_queue_pressure(self):
+        ctrl = self._ctrl(max_queued_tokens=15)
+        a = Request(request_id=0, length=10, deadline=100.0)
+        b = Request(request_id=1, length=10, deadline=100.0)
+        assert ctrl.admit(a, now=0.0)
+        assert not ctrl.admit(b, now=0.0)
+        assert ctrl.check(b, now=0.0).reason == "queue pressure"
+        # Releasing frees budget again.
+        ctrl.release([a])
+        assert ctrl.admit(b, now=0.0)
+
+    def test_rejected_recorded(self):
+        ctrl = self._ctrl()
+        bad = Request(request_id=0, length=50, deadline=100.0)
+        assert not ctrl.admit(bad, now=0.0)
+        assert ctrl.rejected == [bad]
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            self._ctrl(max_queued_tokens=0)
+
+    def test_release_never_negative(self):
+        ctrl = self._ctrl(max_queued_tokens=100)
+        r = Request(request_id=0, length=10, deadline=100.0)
+        ctrl.release([r])
+        assert ctrl.queued_tokens == 0
+
+    def test_admission_filters_improve_wasted_work(self):
+        """With admission control, the queue never holds unschedulable
+        requests — the scheduler's waiting set shrinks."""
+        ctrl = self._ctrl()
+        reqs = make_requests(
+            [10, 30, 10], deadlines=[5.0, 5.0, 1e-9], start_id=0
+        )
+        admitted = [r for r in reqs if ctrl.admit(r, now=0.0)]
+        assert [r.request_id for r in admitted] == [0]

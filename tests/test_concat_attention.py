@@ -1,0 +1,177 @@
+"""Tests for Att_CB / Att_CB_S — the heart of the paper's §4.
+
+The key claims verified here:
+
+1. Eq. 5's masked attention over a concatenated row is *numerically
+   identical* to attending each request independently (the reference
+   loop) — the mask fully removes inter-request interference.
+2. Eq. 8's slotted attention equals Eq. 5 on the same layout — slotting
+   removes redundant computation without changing any result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.concat_attention import att_cb, att_cb_reference, att_cb_s, attention
+from repro.core.masks import NEG_INF, block_diagonal_mask
+
+RTOL = 1e-10
+
+
+def _rand_qkv(rng, b, w, d):
+    return (
+        rng.normal(size=(b, w, d)),
+        rng.normal(size=(b, w, d)),
+        rng.normal(size=(b, w, d)),
+    )
+
+
+class TestVanillaAttention:
+    def test_softmax_rows_sum_to_one_via_uniform_value(self, rng):
+        q, k, _ = _rand_qkv(rng, 2, 5, 4)
+        v = np.ones((2, 5, 4))
+        out = attention(q, k, v)
+        assert np.allclose(out, 1.0)
+
+    def test_scale_default_is_inv_sqrt_d(self, rng):
+        q, k, v = _rand_qkv(rng, 1, 4, 16)
+        a = attention(q, k, v)
+        b = attention(q, k, v, scale=0.25)
+        assert np.allclose(a, b)
+
+    def test_additive_mask_removes_keys(self, rng):
+        q, k, v = _rand_qkv(rng, 1, 4, 4)
+        mask = np.zeros((1, 4, 4))
+        mask[:, :, 2] = NEG_INF  # key 2 invisible
+        out = attention(q, k, v, mask=mask)
+        ref = attention(q, k[:, [0, 1, 3]], v[:, [0, 1, 3]])
+        assert np.allclose(out, ref)
+
+
+class TestAttCB:
+    def test_equals_reference_on_concat_row(self, rng):
+        seg = np.array([[0, 0, 0, 1, 1, 2, 2, 2, 2, -1]])
+        q, k, v = _rand_qkv(rng, 1, 10, 8)
+        got = att_cb(q, k, v, block_diagonal_mask(seg))
+        ref = att_cb_reference(q, k, v, seg)
+        sel = seg[0] >= 0
+        assert np.allclose(got[0, sel], ref[0, sel], rtol=RTOL, atol=1e-12)
+
+    def test_multi_row_batches(self, rng):
+        seg = np.array([[0, 0, 1, -1], [2, 3, 3, 3]])
+        q, k, v = _rand_qkv(rng, 2, 4, 4)
+        got = att_cb(q, k, v, block_diagonal_mask(seg))
+        ref = att_cb_reference(q, k, v, seg)
+        for b in range(2):
+            sel = seg[b] >= 0
+            assert np.allclose(got[b, sel], ref[b, sel], rtol=RTOL, atol=1e-12)
+
+    def test_concat_equals_isolated_requests(self, rng):
+        """The headline §4.1 claim at kernel level."""
+        q, k, v = _rand_qkv(rng, 1, 7, 8)
+        seg = np.array([[0, 0, 0, 0, 1, 1, 1]])
+        got = att_cb(q, k, v, block_diagonal_mask(seg))
+        alone0 = attention(q[:, :4], k[:, :4], v[:, :4])
+        alone1 = attention(q[:, 4:], k[:, 4:], v[:, 4:])
+        assert np.allclose(got[:, :4], alone0, rtol=RTOL, atol=1e-12)
+        assert np.allclose(got[:, 4:], alone1, rtol=RTOL, atol=1e-12)
+
+    def test_broadcasts_over_heads(self, rng):
+        seg = np.array([[0, 0, 1, 1]])
+        mask = block_diagonal_mask(seg)[:, None, :, :]
+        q = rng.normal(size=(1, 2, 4, 4))
+        k = rng.normal(size=(1, 2, 4, 4))
+        v = rng.normal(size=(1, 2, 4, 4))
+        got = att_cb(q, k, v, mask)
+        for h in range(2):
+            ref = att_cb_reference(q[:, h], k[:, h], v[:, h], seg)
+            assert np.allclose(got[:, h], ref, rtol=RTOL, atol=1e-12)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_equivalence(self, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        n_seg = data.draw(st.integers(1, 4))
+        seg_lengths = [data.draw(st.integers(1, 5)) for _ in range(n_seg)]
+        pad = data.draw(st.integers(0, 3))
+        ids = sum(([i] * l for i, l in enumerate(seg_lengths)), []) + [-1] * pad
+        seg = np.array([ids])
+        w = len(ids)
+        q, k, v = _rand_qkv(rng, 1, w, 6)
+        got = att_cb(q, k, v, block_diagonal_mask(seg))
+        ref = att_cb_reference(q, k, v, seg)
+        sel = seg[0] >= 0
+        assert np.allclose(got[0, sel], ref[0, sel], rtol=1e-9, atol=1e-11)
+
+
+class TestAttCBS:
+    def test_equal_slots_fast_path_matches_att_cb(self, rng):
+        # 2 slots of 4 tokens, each holding exactly one request.
+        seg = np.array([[0, 0, 0, 0, 1, 1, 1, 1]])
+        q, k, v = _rand_qkv(rng, 1, 8, 4)
+        pure = att_cb(q, k, v, block_diagonal_mask(seg))
+        slotted = att_cb_s(q, k, v, [(0, 4), (4, 8)])
+        assert np.allclose(pure, slotted, rtol=RTOL, atol=1e-12)
+
+    def test_ragged_slots_with_masks(self, rng):
+        # Slot 0 holds requests 0+1, slot 1 (shorter) holds request 2.
+        seg = np.array([[0, 0, 1, 1, 2, 2]])
+        spans = [(0, 4), (4, 6)]
+        masks = [
+            block_diagonal_mask(seg[:, 0:4]),
+            block_diagonal_mask(seg[:, 4:6]),
+        ]
+        q, k, v = _rand_qkv(rng, 1, 6, 4)
+        slotted = att_cb_s(q, k, v, spans, masks)
+        ref = att_cb_reference(q, k, v, seg)
+        assert np.allclose(slotted, ref, rtol=RTOL, atol=1e-12)
+
+    def test_single_slot_is_pure(self, rng):
+        seg = np.array([[0, 0, 1]])
+        q, k, v = _rand_qkv(rng, 1, 3, 4)
+        slotted = att_cb_s(q, k, v, [(0, 3)], [block_diagonal_mask(seg)])
+        pure = att_cb(q, k, v, block_diagonal_mask(seg))
+        assert np.allclose(slotted, pure, rtol=RTOL, atol=1e-12)
+
+    def test_noncontiguous_spans_rejected(self, rng):
+        q, k, v = _rand_qkv(rng, 1, 8, 4)
+        with pytest.raises(ValueError, match="contiguous"):
+            att_cb_s(q, k, v, [(0, 3), (4, 8)])
+
+    def test_partial_cover_rejected(self, rng):
+        q, k, v = _rand_qkv(rng, 1, 8, 4)
+        with pytest.raises(ValueError, match="cover"):
+            att_cb_s(q, k, v, [(0, 4)])
+
+    def test_empty_spans_rejected(self, rng):
+        q, k, v = _rand_qkv(rng, 1, 4, 4)
+        with pytest.raises(ValueError, match="at least one"):
+            att_cb_s(q, k, v, [])
+
+    def test_mask_span_mismatch_rejected(self, rng):
+        q, k, v = _rand_qkv(rng, 1, 8, 4)
+        with pytest.raises(ValueError, match="align"):
+            att_cb_s(q, k, v, [(0, 4), (4, 8)], [None])
+
+    @given(st.integers(1, 6), st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_property_slot_count_never_changes_result(self, n_slots, seed):
+        rng = np.random.default_rng(seed)
+        z = 3
+        w = n_slots * z
+        # Each slot holds one z-token request.
+        ids = sum(([i] * z for i in range(n_slots)), [])
+        seg = np.array([ids])
+        q, k, v = _rand_qkv(rng, 1, w, 4)
+        spans = [(i * z, (i + 1) * z) for i in range(n_slots)]
+        slotted = att_cb_s(q, k, v, spans)
+        pure = att_cb(q, k, v, block_diagonal_mask(seg))
+        assert np.allclose(slotted, pure, rtol=1e-9, atol=1e-11)
+
+
+class TestReference:
+    def test_reference_rejects_multihead(self, rng):
+        q = rng.normal(size=(1, 2, 4, 4))
+        with pytest.raises(ValueError, match="single-head"):
+            att_cb_reference(q, q, q, np.array([[0, 0, 1, 1]]))

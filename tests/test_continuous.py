@@ -1,0 +1,108 @@
+"""Tests for the ORCA-style continuous-batching simulator."""
+
+import pytest
+
+from repro.config import BatchConfig
+from repro.engine.cost_model import GPUCostModel
+from repro.serving.continuous import ContinuousBatchingSimulator
+from repro.types import Request, make_requests
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.generator import LengthDistribution, WorkloadGenerator
+
+
+def _batch(rows=8, L=50):
+    return BatchConfig(num_rows=rows, row_length=L)
+
+
+def _workload(rate=200.0, horizon=4.0, seed=0):
+    return WorkloadGenerator(
+        rate=rate,
+        lengths=LengthDistribution(family="normal", mean=15, spread=8, low=3, high=50),
+        deadlines=DeadlineModel(base_slack=3.0, jitter=1.0),
+        horizon=horizon,
+        seed=seed,
+    )
+
+
+class TestCostModelStepHooks:
+    def test_decode_step_scales_with_active(self):
+        cm = GPUCostModel.calibrated()
+        assert cm.decode_step_time(64, 2000) > cm.decode_step_time(8, 2000)
+
+    def test_zero_active_is_free(self):
+        cm = GPUCostModel.calibrated()
+        assert cm.decode_step_time(0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        cm = GPUCostModel.calibrated()
+        with pytest.raises(ValueError):
+            cm.decode_step_time(-1, 0)
+
+    def test_prefill_is_encode(self):
+        cm = GPUCostModel.calibrated()
+        assert cm.prefill_time(100, 1000) == pytest.approx(
+            cm.encode_time(100, 1000, 1)
+        )
+
+
+class TestContinuousBatching:
+    def test_conservation(self):
+        wl = _workload()
+        n = len(wl.generate())
+        m = ContinuousBatchingSimulator(_batch()).run(wl)
+        assert m.num_served + m.num_expired == n
+
+    def test_deterministic(self):
+        wl = _workload(seed=4)
+        a = ContinuousBatchingSimulator(_batch(), seed=1).run(wl)
+        b = ContinuousBatchingSimulator(_batch(), seed=1).run(wl)
+        assert a.num_served == b.num_served
+        assert a.total_utility == pytest.approx(b.total_utility)
+
+    def test_light_load_serves_everything(self):
+        wl = WorkloadGenerator(
+            rate=5.0,
+            lengths=LengthDistribution(family="constant", mean=10, low=3, high=50),
+            deadlines=DeadlineModel(base_slack=30.0),
+            horizon=3.0,
+            seed=0,
+        )
+        m = ContinuousBatchingSimulator(_batch(), mean_output_tokens=3.0).run(
+            wl, horizon=60.0
+        )
+        assert m.num_expired == 0
+
+    def test_requests_finish_at_different_times(self):
+        """The point of iteration-level scheduling: departures are not
+        synchronised to batch boundaries."""
+        m = ContinuousBatchingSimulator(_batch(), seed=2).run(_workload())
+        finishes = sorted({round(f, 6) for _, f in m.finish_times.values()})
+        assert len(finishes) > max(3, m.num_batches // 8)
+
+    def test_utility_admission_beats_fcfs_at_overload(self):
+        wl = _workload(rate=800.0)
+        util = ContinuousBatchingSimulator(_batch(), admission="utility").run(wl)
+        fcfs = ContinuousBatchingSimulator(_batch(), admission="fcfs").run(wl)
+        assert util.total_utility > fcfs.total_utility
+
+    def test_oversize_requests_never_admitted(self):
+        reqs = [Request(request_id=0, length=200, arrival=0.0, deadline=10.0)]
+        m = ContinuousBatchingSimulator(_batch()).run(reqs, horizon=5.0)
+        assert m.num_served == 0
+
+    def test_token_budget_respected_implicitly(self):
+        # Feed more simultaneous requests than fit; all must still be
+        # accounted for and latencies must be positive.
+        reqs = make_requests(
+            [40] * 30, arrivals=[0.0] * 30, deadlines=[60.0] * 30, start_id=0
+        )
+        m = ContinuousBatchingSimulator(_batch(rows=2, L=50)).run(reqs, horizon=60.0)
+        assert m.num_served + m.num_expired == 30
+        for _, (a, f) in m.finish_times.items():
+            assert f > a
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ContinuousBatchingSimulator(_batch(), mean_output_tokens=0.5)
+        with pytest.raises(ValueError):
+            ContinuousBatchingSimulator(_batch(), admission="magic")

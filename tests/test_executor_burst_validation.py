@@ -1,0 +1,142 @@
+"""Tests for the parallel slot executor, bursty workloads and layout validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.concat_attention import att_cb_s
+from repro.core.layout import BatchLayout
+from repro.core.masks import block_diagonal_mask
+from repro.core.packing import pack_first_fit
+from repro.core.slotting import pack_into_slots
+from repro.core.validation import validate_layout
+from repro.engine.executor import parallel_slot_attention
+from repro.types import Request, make_requests
+from repro.workload.burst import BurstyWorkload
+
+
+class TestParallelSlotAttention:
+    def _qkv(self, rng, b=2, w=12, d=8):
+        return (
+            rng.normal(size=(b, w, d)),
+            rng.normal(size=(b, w, d)),
+            rng.normal(size=(b, w, d)),
+        )
+
+    def test_matches_sequential(self, rng):
+        q, k, v = self._qkv(rng)
+        seg = np.array([[0] * 4 + [1] * 4 + [2] * 4, [3] * 6 + [4] * 6])
+        spans = [(0, 4), (4, 8), (8, 12)]
+        masks = [block_diagonal_mask(seg[:, a:b]) for a, b in spans]
+        seq = att_cb_s(q, k, v, spans, masks)
+        par = parallel_slot_attention(q, k, v, spans, masks, max_workers=3)
+        assert np.allclose(seq, par, atol=1e-12)
+
+    def test_single_worker_path(self, rng):
+        q, k, v = self._qkv(rng, w=8)
+        spans = [(0, 4), (4, 8)]
+        out = parallel_slot_attention(q, k, v, spans, max_workers=1)
+        assert out.shape == q.shape
+
+    def test_invalid_spans(self, rng):
+        q, k, v = self._qkv(rng, w=8)
+        with pytest.raises(ValueError, match="contiguous"):
+            parallel_slot_attention(q, k, v, [(0, 3), (4, 8)])
+        with pytest.raises(ValueError, match="cover"):
+            parallel_slot_attention(q, k, v, [(0, 4)])
+        with pytest.raises(ValueError, match="at least one"):
+            parallel_slot_attention(q, k, v, [])
+        with pytest.raises(ValueError, match="max_workers"):
+            parallel_slot_attention(q, k, v, [(0, 8)], max_workers=0)
+        with pytest.raises(ValueError, match="align"):
+            parallel_slot_attention(q, k, v, [(0, 4), (4, 8)], [None])
+
+
+class TestBurstyWorkload:
+    def test_generates_within_horizon(self):
+        wl = BurstyWorkload(rate=100.0, horizon=4.0, seed=1)
+        reqs = wl.generate()
+        assert reqs
+        assert all(0 <= r.arrival < 4.0 for r in reqs)
+        arr = [r.arrival for r in reqs]
+        assert arr == sorted(arr)
+
+    def test_long_run_rate_near_nominal(self):
+        wl = BurstyWorkload(rate=200.0, horizon=60.0, seed=0)
+        n = len(wl.generate())
+        # Normalised on/off mixing keeps the long-run mean near `rate`;
+        # state-sequence randomness still leaves sizable variance.
+        assert 0.6 * 200 * 60 < n < 1.6 * 200 * 60
+
+    def test_burstier_than_poisson(self):
+        from repro.workload.generator import WorkloadGenerator
+
+        bursty = BurstyWorkload(rate=300.0, burst_factor=6.0, horizon=10.0, seed=2)
+        smooth = WorkloadGenerator(rate=300.0, horizon=10.0, seed=2)
+        b_reqs = bursty.generate()
+        s_reqs = smooth.generate()
+        b_idx = bursty.burstiness_index(b_reqs)
+        s_idx = bursty.burstiness_index(s_reqs)
+        assert b_idx > s_idx * 1.5
+
+    def test_deterministic(self):
+        a = BurstyWorkload(rate=50.0, horizon=3.0, seed=7).generate()
+        b = BurstyWorkload(rate=50.0, horizon=3.0, seed=7).generate()
+        assert [(r.arrival, r.length) for r in a] == [
+            (r.arrival, r.length) for r in b
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyWorkload(rate=0.0)
+        with pytest.raises(ValueError):
+            BurstyWorkload(burst_factor=0.5)
+        with pytest.raises(ValueError):
+            BurstyWorkload(mean_state_duration=0.0)
+
+    def test_burstiness_index_empty(self):
+        wl = BurstyWorkload()
+        assert wl.burstiness_index([]) == 0.0
+
+
+class TestValidateLayout:
+    def test_good_concat_layout(self):
+        reqs = make_requests([4, 3, 5, 2], start_id=0)
+        layout = pack_first_fit(reqs, num_rows=2, row_length=10).layout
+        report = validate_layout(layout)
+        assert report.ok
+        assert "att_cb ≡ per-request" in report.checks
+        report.raise_if_failed()
+
+    def test_good_slotted_layout(self):
+        reqs = make_requests([3, 4, 2, 4], start_id=0)
+        layout = pack_into_slots(reqs, 2, 8, 4).layout
+        report = validate_layout(layout)
+        assert report.ok
+        assert "att_cb_s ≡ att_cb" in report.checks
+
+    def test_structural_failure_detected(self):
+        layout = BatchLayout(num_rows=1, row_length=10)
+        layout.rows[0].add(Request(request_id=0, length=4))
+        layout.rows[0].add(Request(request_id=0, length=4))  # duplicate id
+        report = validate_layout(layout)
+        assert not report.ok
+        with pytest.raises(AssertionError, match="validation failed"):
+            report.raise_if_failed()
+
+    def test_empty_layout_flagged(self):
+        layout = BatchLayout(num_rows=1, row_length=10)
+        report = validate_layout(layout)
+        assert not report.ok
+
+    def test_model_check(self, tiny_model, tokenized_requests):
+        reqs = tokenized_requests([4, 6, 3])
+        layout = pack_first_fit(reqs, num_rows=1, row_length=16).layout
+        report = validate_layout(layout, model=tiny_model)
+        assert report.ok
+        assert "model concat ≡ isolated" in report.checks
+
+    def test_model_check_requires_tokens(self, tiny_model):
+        reqs = make_requests([4, 3], start_id=0)
+        layout = pack_first_fit(reqs, num_rows=1, row_length=8).layout
+        report = validate_layout(layout, model=tiny_model)
+        assert not report.ok

@@ -1,0 +1,58 @@
+"""Tests for the fairness analysis helpers."""
+
+import pytest
+
+from repro.analysis.fairness import jain_index, service_rate_by_length
+from repro.serving.metrics import ServingMetrics
+from repro.types import make_requests
+
+
+def _metrics(served_lengths, expired_lengths):
+    m = ServingMetrics(horizon=1.0)
+    m.served = make_requests(served_lengths, start_id=0)
+    m.expired = make_requests(expired_lengths, start_id=1000)
+    return m
+
+
+class TestServiceRateByLength:
+    def test_partition_covers_all_offered(self):
+        m = _metrics([3, 5, 8, 20, 40], [10, 60, 90])
+        out = service_rate_by_length(m, num_buckets=4)
+        assert sum(out["offered"]) == 8
+        assert sum(out["served"]) == 5
+
+    def test_rates_bounded(self):
+        m = _metrics([3, 4, 5], [50, 60])
+        out = service_rate_by_length(m, num_buckets=2)
+        assert all(0.0 <= r <= 1.0 for r in out["service_rate"])
+
+    def test_short_favoured_detected(self):
+        # All short served, all long expired → first bucket 1.0, last 0.0.
+        m = _metrics([3, 4, 5, 6], [80, 90, 95, 100])
+        out = service_rate_by_length(m, num_buckets=2)
+        assert out["service_rate"][0] == 1.0
+        assert out["service_rate"][-1] == 0.0
+
+    def test_empty(self):
+        out = service_rate_by_length(ServingMetrics(), num_buckets=3)
+        assert out["offered"] == []
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            service_rate_by_length(ServingMetrics(), num_buckets=0)
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_perfectly_unfair(self):
+        # One bucket gets everything: index → 1/n.
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 0.0
+        assert jain_index([0.0, 0.0]) == 0.0
+
+    def test_monotone_in_imbalance(self):
+        assert jain_index([0.6, 0.4]) > jain_index([0.9, 0.1])

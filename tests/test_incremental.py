@@ -1,0 +1,82 @@
+"""Tests for KV-cached incremental decoding (repro.model.incremental)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import BatchLayout
+from repro.core.packing import pack_first_fit
+from repro.core.slotting import pack_into_slots
+from repro.model.incremental import IncrementalDecoder, greedy_decode_incremental
+from repro.types import Request
+
+
+def _layout(reqs, rows=2, cap=16):
+    res = pack_first_fit(reqs, num_rows=rows, row_length=cap)
+    assert not res.rejected
+    return res.layout
+
+
+class TestIncrementalDecoding:
+    def test_matches_full_recompute(self, tiny_model, tokenized_requests):
+        reqs = tokenized_requests([5, 3, 7, 2, 4, 6])
+        layout = _layout(reqs)
+        full = tiny_model.greedy_decode(layout, max_new_tokens=6)
+        inc = greedy_decode_incremental(tiny_model, layout, max_new_tokens=6)
+        assert full.outputs == inc.outputs
+        assert full.completion_step == inc.completion_step
+        assert full.steps_run == inc.steps_run
+
+    def test_matches_on_naive_layout(self, tiny_model, tokenized_requests):
+        reqs = tokenized_requests([4, 9, 2])
+        layout = BatchLayout.naive(reqs)
+        full = tiny_model.greedy_decode(layout, max_new_tokens=5)
+        inc = greedy_decode_incremental(tiny_model, layout, max_new_tokens=5)
+        assert full.outputs == inc.outputs
+
+    def test_matches_on_slotted_layout(self, tiny_model, tokenized_requests):
+        reqs = tokenized_requests([3, 4, 2, 4])
+        res = pack_into_slots(reqs, num_rows=2, row_length=8, slot_size=4)
+        full = tiny_model.greedy_decode(res.layout, max_new_tokens=4)
+        inc = greedy_decode_incremental(tiny_model, res.layout, max_new_tokens=4)
+        assert full.outputs == inc.outputs
+
+    def test_matches_single_request(self, tiny_model, tokenized_requests):
+        reqs = tokenized_requests([6])
+        layout = _layout(reqs, rows=1, cap=8)
+        inc = greedy_decode_incremental(tiny_model, layout, max_new_tokens=8)
+        ref = tiny_model.greedy_decode_single(reqs[0].tokens, max_new_tokens=8)
+        assert inc.outputs[reqs[0].request_id] == ref
+
+    @pytest.mark.parametrize("budget", [1, 2, 5])
+    def test_budget_respected(self, tiny_model, tokenized_requests, budget):
+        reqs = tokenized_requests([4, 3])
+        layout = _layout(reqs, rows=1, cap=8)
+        inc = greedy_decode_incremental(tiny_model, layout, max_new_tokens=budget)
+        for rid, toks in inc.outputs.items():
+            assert len(toks) <= budget
+
+    def test_empty_layout(self, tiny_model):
+        layout = BatchLayout(num_rows=1, row_length=8)
+        res = greedy_decode_incremental(tiny_model, layout)
+        assert res.outputs == {}
+
+    def test_decoder_rejects_empty_layout(self, tiny_model):
+        layout = BatchLayout(num_rows=1, row_length=8)
+        with pytest.raises(ValueError, match="no requests"):
+            IncrementalDecoder(tiny_model, layout, 4)
+
+    def test_uneven_rows(self, tiny_model, tokenized_requests):
+        """Rows with different segment counts (padding in the decoder)."""
+        reqs = tokenized_requests([3, 3, 3, 9])
+        layout = _layout(reqs, rows=2, cap=9)
+        full = tiny_model.greedy_decode(layout, max_new_tokens=4)
+        inc = greedy_decode_incremental(tiny_model, layout, max_new_tokens=4)
+        assert full.outputs == inc.outputs
+
+    def test_many_steps_stay_exact(self, tiny_model, tokenized_requests):
+        """Cache drift would accumulate over long decodes — assert none."""
+        reqs = tokenized_requests([5, 7])
+        layout = _layout(reqs, rows=1, cap=12)
+        full = tiny_model.greedy_decode(layout, max_new_tokens=16)
+        inc = greedy_decode_incremental(tiny_model, layout, max_new_tokens=16)
+        assert full.outputs == inc.outputs

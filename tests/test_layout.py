@@ -1,0 +1,155 @@
+"""Tests for repro.core.layout — the layout data model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.layout import BatchLayout, RowLayout, Segment, SlotLayout
+from repro.types import Request, make_requests
+
+
+def _req(rid, length):
+    return Request(request_id=rid, length=length)
+
+
+class TestRowLayout:
+    def test_add_appends_contiguously(self):
+        row = RowLayout(capacity=10)
+        s1 = row.add(_req(0, 4))
+        s2 = row.add(_req(1, 3))
+        assert (s1.start, s1.end) == (0, 4)
+        assert (s2.start, s2.end) == (4, 7)
+        assert row.used == 7
+        assert row.free == 3
+        assert row.padding == 3
+
+    def test_overflow_rejected(self):
+        row = RowLayout(capacity=5)
+        row.add(_req(0, 3))
+        with pytest.raises(ValueError, match="does not fit"):
+            row.add(_req(1, 3))
+
+    def test_validate_catches_overlap(self):
+        row = RowLayout(capacity=10)
+        row.segments = [Segment(_req(0, 4), start=0), Segment(_req(1, 4), start=2)]
+        with pytest.raises(ValueError, match="overlap"):
+            row.validate()
+
+    def test_validate_catches_capacity_overflow(self):
+        row = RowLayout(capacity=5)
+        row.segments = [Segment(_req(0, 4), start=3)]
+        with pytest.raises(ValueError, match="capacity"):
+            row.validate()
+
+
+class TestSlotLayout:
+    def test_slot_placement_is_offset_by_start(self):
+        slot = SlotLayout(start=10, size=5)
+        seg = slot.add(_req(0, 3))
+        assert seg.start == 10
+        seg2 = slot.add(_req(1, 2))
+        assert seg2.start == 13
+        assert slot.free == 0
+
+    def test_slot_overflow_rejected(self):
+        slot = SlotLayout(start=0, size=4)
+        with pytest.raises(ValueError, match="does not fit"):
+            slot.add(_req(0, 5))
+
+    def test_validate_catches_segment_escaping_slot(self):
+        row = RowLayout(capacity=10)
+        slot = SlotLayout(start=0, size=4)
+        bad = Segment(_req(0, 4), start=2)  # extends to 6 > slot end 4
+        slot.segments.append(bad)
+        row.segments.append(bad)
+        row.slots = [slot]
+        with pytest.raises(ValueError, match="escapes"):
+            row.validate()
+
+
+class TestBatchLayout:
+    def test_naive_constructor_one_request_per_row(self):
+        reqs = make_requests([3, 7, 5], start_id=0)
+        layout = BatchLayout.naive(reqs)
+        assert layout.num_rows == 3
+        assert layout.effective_width == 7
+        assert [row.num_requests for row in layout.rows] == [1, 1, 1]
+        assert layout.useful_tokens == 15
+        assert layout.padded_tokens == 3 * 7 - 15
+
+    def test_naive_rejects_too_many_for_rows(self):
+        reqs = make_requests([3, 3], start_id=0)
+        with pytest.raises(ValueError, match="do not fit"):
+            BatchLayout.naive(reqs, num_rows=1)
+
+    def test_naive_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero requests"):
+            BatchLayout.naive([])
+
+    def test_segment_id_matrix(self):
+        layout = BatchLayout(num_rows=2, row_length=6)
+        layout.rows[0].add(_req(10, 2))
+        layout.rows[0].add(_req(11, 3))
+        layout.rows[1].add(_req(12, 4))
+        seg = layout.segment_id_matrix()
+        assert seg.shape == (2, 5)
+        assert seg[0].tolist() == [10, 10, 11, 11, 11]
+        assert seg[1].tolist() == [12, 12, 12, 12, -1]
+
+    def test_position_matrix_restarts_per_segment(self):
+        layout = BatchLayout(num_rows=1, row_length=8)
+        layout.rows[0].add(_req(0, 3))
+        layout.rows[0].add(_req(1, 2))
+        pos = layout.position_matrix()
+        assert pos[0].tolist() == [0, 1, 2, 0, 1]
+
+    def test_naive_position_matrix_is_rowwise(self):
+        layout = BatchLayout(num_rows=1, row_length=8)
+        layout.rows[0].add(_req(0, 3))
+        layout.rows[0].add(_req(1, 2))
+        pos = layout.naive_position_matrix()
+        assert pos[0].tolist() == [0, 1, 2, 3, 4]
+
+    def test_token_matrix_requires_tokens(self):
+        layout = BatchLayout(num_rows=1, row_length=4)
+        layout.rows[0].add(_req(0, 2))
+        with pytest.raises(ValueError, match="no tokens"):
+            layout.token_matrix()
+
+    def test_token_matrix_pads(self):
+        layout = BatchLayout(num_rows=2, row_length=4)
+        layout.rows[0].add(Request(request_id=0, length=2, tokens=(7, 8)))
+        layout.rows[1].add(Request(request_id=1, length=3, tokens=(4, 5, 6)))
+        toks = layout.token_matrix(pad_token=0)
+        assert toks[0].tolist() == [7, 8, 0]
+        assert toks[1].tolist() == [4, 5, 6]
+
+    def test_validate_catches_duplicate_request(self):
+        layout = BatchLayout(num_rows=2, row_length=4)
+        layout.rows[0].add(_req(0, 2))
+        layout.rows[1].add(_req(0, 2))
+        with pytest.raises(ValueError, match="twice"):
+            layout.validate()
+
+    def test_effective_width_tracks_fullest_row(self):
+        layout = BatchLayout(num_rows=3, row_length=100)
+        layout.rows[0].add(_req(0, 10))
+        layout.rows[1].add(_req(1, 30))
+        assert layout.effective_width == 30
+        assert layout.padding_ratio == pytest.approx(1 - 40 / 90)
+
+    def test_slot_boundaries_default_whole_row(self):
+        layout = BatchLayout(num_rows=1, row_length=10)
+        layout.rows[0].add(_req(0, 6))
+        assert layout.slot_boundaries() == [[(0, 6)]]
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=20)
+    )
+    def test_useful_tokens_invariant(self, lengths):
+        reqs = make_requests(lengths, start_id=0)
+        layout = BatchLayout.naive(reqs)
+        layout.validate()
+        assert layout.useful_tokens == sum(lengths)
+        assert layout.num_requests == len(lengths)
+        assert layout.padded_tokens >= 0

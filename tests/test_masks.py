@@ -1,0 +1,119 @@
+"""Tests for the mask builders (Eq. 6 and companions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.layout import BatchLayout
+from repro.core.masks import (
+    NEG_INF,
+    block_diagonal_mask,
+    causal_block_mask,
+    cross_attention_mask,
+    layout_attention_mask,
+    padding_key_mask,
+)
+from repro.types import Request
+
+
+def _segments(*rows):
+    return np.array(rows, dtype=np.int64)
+
+
+class TestBlockDiagonalMask:
+    def test_two_segments(self):
+        seg = _segments([0, 0, 1, 1, -1])
+        m = block_diagonal_mask(seg)[0]
+        # Within-segment entries are open.
+        assert m[0, 1] == 0.0 and m[1, 0] == 0.0
+        assert m[2, 3] == 0.0 and m[3, 2] == 0.0
+        # Cross-segment entries are masked (Eq. 6's off-diagonal blocks).
+        assert m[0, 2] == NEG_INF and m[2, 0] == NEG_INF
+        # Padding interacts with nothing — not even itself.
+        assert m[4, 4] == NEG_INF and m[0, 4] == NEG_INF
+
+    def test_mask_is_symmetric(self):
+        seg = _segments([3, 3, 5, 5, 5, -1])
+        m = block_diagonal_mask(seg)[0]
+        assert np.array_equal(m, m.T)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError, match="B, W"):
+            block_diagonal_mask(np.zeros(4, dtype=np.int64))
+
+    @given(
+        st.lists(
+            st.integers(min_value=-1, max_value=3), min_size=1, max_size=12
+        )
+    )
+    def test_allowed_iff_same_nonneg_id(self, ids):
+        seg = _segments(ids)
+        m = block_diagonal_mask(seg)[0]
+        for i, a in enumerate(ids):
+            for j, b in enumerate(ids):
+                expected = 0.0 if (a == b and a >= 0) else NEG_INF
+                assert m[i, j] == expected
+
+
+class TestCausalBlockMask:
+    def test_causality_within_segment(self):
+        seg = _segments([0, 0, 0])
+        m = causal_block_mask(seg)[0]
+        assert m[0, 0] == 0.0
+        assert m[1, 0] == 0.0 and m[0, 1] == NEG_INF
+        assert m[2, 1] == 0.0 and m[1, 2] == NEG_INF
+
+    def test_blocks_cross_segment_even_backwards(self):
+        seg = _segments([0, 0, 1, 1])
+        m = causal_block_mask(seg)[0]
+        # Token of segment 1 may not look back into segment 0.
+        assert m[2, 1] == NEG_INF
+        assert m[3, 2] == 0.0
+
+    def test_is_subset_of_block_diagonal(self):
+        seg = _segments([0, 0, 1, 1, -1, 2])
+        blk = block_diagonal_mask(seg)[0]
+        cau = causal_block_mask(seg)[0]
+        # Everywhere causal allows, block-diagonal must allow too.
+        assert np.all((cau == 0.0) <= (blk == 0.0))
+
+
+class TestCrossAttentionMask:
+    def test_decoder_attends_only_own_encoder_segment(self):
+        dec = _segments([0, 1, -1])
+        enc = _segments([0, 0, 1, -1])
+        m = cross_attention_mask(dec, enc)[0]
+        assert m.shape == (3, 4)
+        assert m[0].tolist() == [0.0, 0.0, NEG_INF, NEG_INF]
+        assert m[1].tolist() == [NEG_INF, NEG_INF, 0.0, NEG_INF]
+        assert np.all(m[2] == NEG_INF)
+
+    def test_batch_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="batch mismatch"):
+            cross_attention_mask(_segments([0]), np.zeros((2, 3), dtype=np.int64))
+
+
+class TestPaddingKeyMask:
+    def test_hides_padding_keys_only(self):
+        seg = _segments([0, 1, -1])
+        m = padding_key_mask(seg)
+        assert m.shape == (1, 1, 3)
+        assert m[0, 0].tolist() == [0.0, 0.0, NEG_INF]
+
+
+class TestLayoutAttentionMask:
+    def test_from_layout(self):
+        layout = BatchLayout(num_rows=1, row_length=6)
+        layout.rows[0].add(Request(request_id=0, length=2))
+        layout.rows[0].add(Request(request_id=1, length=2))
+        m = layout_attention_mask(layout)
+        assert m.shape == (1, 4, 4)
+        assert m[0, 0, 1] == 0.0
+        assert m[0, 1, 2] == NEG_INF
+
+    def test_causal_flag(self):
+        layout = BatchLayout(num_rows=1, row_length=4)
+        layout.rows[0].add(Request(request_id=0, length=3))
+        m = layout_attention_mask(layout, causal=True)
+        assert m[0, 0, 1] == NEG_INF
+        assert m[0, 1, 0] == 0.0

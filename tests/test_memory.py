@@ -1,0 +1,88 @@
+"""Tests for the GPU memory simulator and early cleaning (§4.2.2)."""
+
+import pytest
+
+from repro.core.packing import pack_first_fit
+from repro.core.slotting import pack_into_slots
+from repro.engine.memory import GPUMemorySimulator
+from repro.types import make_requests
+
+
+@pytest.fixture()
+def sim():
+    return GPUMemorySimulator(d_model=32, num_layers=4)
+
+
+def _slotted_layout():
+    reqs = make_requests([4, 4, 4, 4], start_id=0)
+    res = pack_into_slots(reqs, num_rows=2, row_length=8, slot_size=4)
+    assert not res.rejected
+    return res.layout
+
+
+def _pure_layout():
+    reqs = make_requests([4, 4, 4, 4], start_id=0)
+    res = pack_first_fit(reqs, num_rows=2, row_length=8)
+    assert not res.rejected
+    return res.layout
+
+
+class TestMemorySimulator:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GPUMemorySimulator(d_model=0)
+
+    def test_slotted_early_cleaning_saves_byte_steps(self, sim):
+        layout = _slotted_layout()
+        # Requests 0..3 finish at steps 1, 2, 3, 4.
+        completion = {0: 1, 1: 2, 2: 3, 3: 4}
+        report = sim.simulate(layout, completion, early_cleaning=True)
+        assert report.final_step == 4
+        assert report.byte_steps < report.byte_steps_no_cleaning
+        assert 0.0 < report.savings_ratio < 1.0
+        assert report.overlap_bytes > 0
+
+    def test_pure_concat_cannot_early_clean(self, sim):
+        """§4.2.2: concatenated rows are not separable tensors."""
+        layout = _pure_layout()
+        completion = {0: 1, 1: 2, 2: 3, 3: 4}
+        report = sim.simulate(layout, completion, early_cleaning=True)
+        assert report.savings_ratio == pytest.approx(0.0)
+        assert report.overlap_bytes == 0
+
+    def test_early_cleaning_flag_off(self, sim):
+        layout = _slotted_layout()
+        completion = {0: 1, 1: 2, 2: 3, 3: 4}
+        report = sim.simulate(layout, completion, early_cleaning=False)
+        assert report.byte_steps == report.byte_steps_no_cleaning
+        assert report.savings_ratio == 0.0
+
+    def test_slot_freed_at_last_request_completion(self, sim):
+        """A slot shared by two requests frees when the LAST one ends."""
+        reqs = make_requests([2, 2], start_id=0)
+        res = pack_into_slots(reqs, num_rows=1, row_length=8, slot_size=4)
+        layout = res.layout
+        report = sim.simulate(layout, {0: 1, 1: 3}, early_cleaning=True)
+        # Only one slot is occupied; it frees at step 3 of 3 -> no savings.
+        assert report.final_step == 3
+        assert report.savings_ratio == pytest.approx(0.0)
+
+    def test_simultaneous_completion_no_savings(self, sim):
+        layout = _slotted_layout()
+        report = sim.simulate(layout, {0: 4, 1: 4, 2: 4, 3: 4})
+        assert report.savings_ratio == pytest.approx(0.0)
+
+    def test_peak_bytes_scale_with_occupied_slots(self, sim):
+        small = pack_into_slots(make_requests([4], start_id=0), 1, 8, 4).layout
+        big = _slotted_layout()
+        r_small = sim.simulate(small, {0: 1})
+        r_big = sim.simulate(big, {0: 1, 1: 1, 2: 1, 3: 1})
+        assert r_big.peak_bytes > r_small.peak_bytes
+
+    def test_freed_per_step_accounting(self, sim):
+        layout = _slotted_layout()
+        report = sim.simulate(layout, {0: 1, 1: 1, 2: 2, 3: 2})
+        # Slots of requests 0,1 free at step 1 (before final step 2).
+        assert len(report.freed_per_step) == 2
+        assert report.freed_per_step[0] > 0
+        assert report.freed_per_step[-1] == 0  # final step frees "at end"

@@ -1,0 +1,66 @@
+"""Remaining coverage: small constructors and accounting helpers."""
+
+import pytest
+
+from repro.core.layout import BatchLayout, RowLayout, Segment
+from repro.core.packing import PackingResult
+from repro.types import Request, RequestBatchStats, make_requests
+
+
+class TestSinglePerRow:
+    def test_fixed_width_rows(self):
+        reqs = make_requests([5, 3], start_id=0)
+        layout = BatchLayout.single_per_row(reqs, row_length=10)
+        assert layout.scheme == "turbo"
+        assert layout.num_rows == 2
+        assert layout.rows[0].capacity == 10
+        assert layout.effective_width == 5
+
+    def test_oversize_rejected(self):
+        reqs = make_requests([20], start_id=0)
+        with pytest.raises(ValueError, match="exceeds"):
+            BatchLayout.single_per_row(reqs, row_length=10)
+
+
+class TestRowExtent:
+    def test_extent_vs_used_with_slot_offsets(self):
+        row = RowLayout(capacity=12)
+        # Segment manually placed at an offset (as slotting does).
+        row.segments.append(Segment(Request(request_id=0, length=3), start=6))
+        assert row.used == 3
+        assert row.extent == 9
+
+    def test_empty_row_extent(self):
+        assert RowLayout(capacity=5).extent == 0
+
+
+class TestRequestBatchStats:
+    def test_padding_ratio(self):
+        s = RequestBatchStats(useful_tokens=60, padded_tokens=40)
+        assert s.total_tokens == 100
+        assert s.padding_ratio == pytest.approx(0.4)
+        assert s.utilisation == pytest.approx(0.6)
+
+    def test_empty_ratio_zero(self):
+        s = RequestBatchStats()
+        assert s.padding_ratio == 0.0
+        assert s.utilisation == 1.0
+
+
+class TestPackingResult:
+    def test_counts(self):
+        layout = BatchLayout(num_rows=1, row_length=10)
+        res = PackingResult(
+            layout=layout,
+            packed=make_requests([2], start_id=0),
+            rejected=make_requests([3, 4], start_id=10),
+        )
+        assert res.num_packed == 1
+        assert res.num_rejected == 2
+
+
+class TestSegment:
+    def test_positions(self):
+        seg = Segment(Request(request_id=0, length=4), start=7)
+        assert seg.positions().tolist() == [0, 1, 2, 3]
+        assert (seg.start, seg.end, seg.length) == (7, 11, 4)

@@ -1,0 +1,121 @@
+"""Tests for offline optima (exact OPT, LP bound, bin-packing check)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scheduling.offline import exact_opt, fits_in_rows, lp_upper_bound
+from repro.types import Request, make_requests
+
+
+def brute_force_fits(lengths, num_rows, row_length):
+    """Assign each item to a row by brute force."""
+    if not lengths:
+        return True
+    for assignment in itertools.product(range(num_rows), repeat=len(lengths)):
+        loads = [0] * num_rows
+        for item, row in zip(lengths, assignment):
+            loads[row] += item
+        if all(l <= row_length for l in loads):
+            return True
+    return False
+
+
+class TestFitsInRows:
+    def test_simple_cases(self):
+        assert fits_in_rows([5, 5], 1, 10)
+        assert not fits_in_rows([6, 5], 1, 10)
+        assert fits_in_rows([6, 5], 2, 10)
+        assert fits_in_rows([], 3, 10)
+        assert not fits_in_rows([11], 5, 10)
+
+    def test_needs_smart_packing(self):
+        # [4,4,4,3,3,3] into 3 rows of 7: (4+3) × 3 works; naive
+        # first-fit of sorted order also works but total is exactly tight.
+        assert fits_in_rows([4, 4, 4, 3, 3, 3], 3, 7)
+        assert not fits_in_rows([4, 4, 4, 4, 3, 3], 3, 7)
+
+    @given(
+        lengths=st.lists(st.integers(1, 8), max_size=7),
+        rows=st.integers(1, 3),
+        cap=st.integers(1, 12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_brute_force(self, lengths, rows, cap):
+        assert fits_in_rows(lengths, rows, cap) == brute_force_fits(
+            lengths, rows, cap
+        )
+
+
+class TestExactOpt:
+    def test_single_slot_knapsack(self):
+        reqs = make_requests([2, 3, 4], start_id=0)
+        # One slot, one row of 5 → best is 2+3 (utility 1/2 + 1/3).
+        opt = exact_opt(reqs, [0.0], num_rows=1, row_length=5)
+        assert opt == pytest.approx(1 / 2 + 1 / 3)
+
+    def test_window_constraints(self):
+        reqs = [
+            Request(request_id=0, length=2, arrival=0.0, deadline=0.5),
+            Request(request_id=1, length=2, arrival=1.0, deadline=2.0),
+        ]
+        # Slots at t=0 and t=1.5: each request reachable in exactly one.
+        opt = exact_opt(reqs, [0.0, 1.5], num_rows=1, row_length=2)
+        assert opt == pytest.approx(1.0)
+
+    def test_request_can_be_served_once(self):
+        reqs = make_requests([2], start_id=0)
+        opt = exact_opt(reqs, [0.0, 1.0, 2.0], num_rows=4, row_length=10)
+        assert opt == pytest.approx(0.5)
+
+    def test_oversize_ignored(self):
+        reqs = make_requests([50], start_id=0)
+        assert exact_opt(reqs, [0.0], num_rows=2, row_length=10) == 0.0
+
+    def test_multi_row_packing_matters(self):
+        reqs = make_requests([6, 6, 6], start_id=0)
+        # Three 6s in 2 rows of 12: all fit (6+6 | 6).
+        opt = exact_opt(reqs, [0.0], num_rows=2, row_length=12)
+        assert opt == pytest.approx(3 / 6)
+
+
+class TestLPBound:
+    def test_dominates_exact(self):
+        reqs = make_requests([2, 3, 4, 5], start_id=0)
+        slots = [0.0, 1.0]
+        opt = exact_opt(reqs, slots, num_rows=1, row_length=6)
+        lp = lp_upper_bound(reqs, slots, num_rows=1, row_length=6)
+        assert lp >= opt - 1e-9
+
+    def test_unconstrained_serves_all(self):
+        reqs = make_requests([2, 2], start_id=0)
+        lp = lp_upper_bound(reqs, [0.0], num_rows=4, row_length=10)
+        assert lp == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert lp_upper_bound([], [0.0], 1, 10) == 0.0
+        assert lp_upper_bound(make_requests([3], start_id=0), [], 1, 10) == 0.0
+
+    @given(
+        lengths=st.lists(st.integers(1, 8), min_size=1, max_size=8),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_lp_geq_opt(self, lengths, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        reqs = [
+            Request(
+                request_id=i,
+                length=l,
+                arrival=float(rng.uniform(0, 2)),
+                deadline=float(rng.uniform(2, 4)),
+            )
+            for i, l in enumerate(lengths)
+        ]
+        slots = [0.5, 1.5, 2.5]
+        opt = exact_opt(reqs, slots, num_rows=2, row_length=8)
+        lp = lp_upper_bound(reqs, slots, num_rows=2, row_length=8)
+        assert lp >= opt - 1e-9

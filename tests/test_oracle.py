@@ -1,0 +1,106 @@
+"""Tests for the clairvoyant oracle scheduler."""
+
+import pytest
+
+from repro.config import BatchConfig, SchedulerConfig
+from repro.scheduling.das import DASScheduler
+from repro.scheduling.offline import exact_opt
+from repro.scheduling.oracle import OracleScheduler, plan_with_lp
+from repro.types import Request, make_requests
+
+
+def _batch(rows=2, L=10):
+    return BatchConfig(num_rows=rows, row_length=L)
+
+
+class TestPlanWithLP:
+    def test_everything_fits_one_slot(self):
+        reqs = make_requests([3, 4], deadlines=[10.0, 10.0], start_id=0)
+        plan = plan_with_lp(reqs, [0.0], _batch())
+        assert set(plan) == {reqs[0].request_id, reqs[1].request_id}
+        assert set(plan.values()) == {0}
+
+    def test_respects_windows(self):
+        reqs = [
+            Request(request_id=0, length=3, arrival=0.0, deadline=0.5),
+            Request(request_id=1, length=3, arrival=1.0, deadline=2.0),
+        ]
+        plan = plan_with_lp(reqs, [0.0, 1.5], _batch())
+        assert plan[0] == 0
+        assert plan[1] == 1
+
+    def test_capacity_limits_choice(self):
+        # Three 10-token requests, one slot, capacity 2×10 → two chosen.
+        reqs = make_requests([10, 10, 10], deadlines=[9.0] * 3, start_id=0)
+        plan = plan_with_lp(reqs, [0.0], _batch())
+        assert len(plan) == 2
+
+    def test_oversize_ignored(self):
+        reqs = make_requests([50], deadlines=[9.0], start_id=0)
+        assert plan_with_lp(reqs, [0.0], _batch()) == {}
+
+    def test_empty(self):
+        assert plan_with_lp([], [0.0], _batch()) == {}
+        assert plan_with_lp(make_requests([3], start_id=0), [], _batch()) == {}
+
+
+class TestOracleScheduler:
+    def _replay(self, scheduler, requests, slot_times):
+        served: set[int] = set()
+        total = 0.0
+        for t in slot_times:
+            waiting = [
+                r
+                for r in requests
+                if r.request_id not in served and r.is_available(t)
+            ]
+            d = scheduler.select(waiting, t)
+            d.validate(scheduler.batch)
+            for r in d.selected():
+                served.add(r.request_id)
+                total += r.utility
+        return total
+
+    def test_oracle_at_least_matches_das_on_average(self):
+        """Clairvoyance can't lose to online DAS across a trace set."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        batch = _batch()
+        slots = [0.25, 1.25, 2.25]
+        oracle_total, das_total = 0.0, 0.0
+        for seed in range(12):
+            r2 = np.random.default_rng(seed)
+            reqs = []
+            for i in range(8):
+                a = float(r2.uniform(0, 2.5))
+                reqs.append(
+                    Request(
+                        request_id=i,
+                        length=int(r2.integers(1, 9)),
+                        arrival=a,
+                        deadline=a + float(r2.uniform(0.5, 2.5)),
+                    )
+                )
+            oracle = OracleScheduler(batch, reqs, slots)
+            das = DASScheduler(batch, SchedulerConfig())
+            oracle_total += self._replay(oracle, reqs, slots)
+            das_total += self._replay(das, reqs, slots)
+        assert oracle_total >= das_total * 0.95
+
+    def test_oracle_close_to_exact_opt(self):
+        reqs = make_requests(
+            [2, 3, 4, 5, 6], deadlines=[3.0] * 5, start_id=0
+        )
+        slots = [0.5, 1.5]
+        batch = _batch()
+        oracle = OracleScheduler(batch, reqs, slots)
+        got = self._replay(oracle, reqs, slots)
+        opt = exact_opt(reqs, slots, batch.num_rows, batch.row_length)
+        assert got >= 0.8 * opt
+
+    def test_decision_valid(self):
+        reqs = make_requests([3, 7, 2, 9, 5], deadlines=[5.0] * 5, start_id=0)
+        oracle = OracleScheduler(_batch(), reqs, [0.0, 1.0])
+        d = oracle.select(reqs, 0.0)
+        d.validate(_batch())

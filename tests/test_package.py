@@ -1,0 +1,58 @@
+"""Tests for the package surface (lazy exports, version, dir)."""
+
+import pytest
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "BatchLayout",
+            "Seq2SeqModel",
+            "ToyVocab",
+            "BPETokenizer",
+            "sample_decode",
+            "greedy_decode_incremental",
+            "NaiveEngine",
+            "TurboEngine",
+            "ConcatEngine",
+            "SlottedConcatEngine",
+            "AdaptiveEngine",
+            "GPUCostModel",
+            "GPUMemorySimulator",
+            "DASScheduler",
+            "SlottedDASScheduler",
+            "FCFSScheduler",
+            "SJFScheduler",
+            "DEFScheduler",
+            "OracleScheduler",
+            "ServingSimulator",
+            "ClusterSimulator",
+            "AdmissionController",
+            "TCBServer",
+            "WorkloadGenerator",
+            "CorpusWorkload",
+        ],
+    )
+    def test_lazy_exports_resolve(self, name):
+        obj = getattr(repro, name)
+        assert obj is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.does_not_exist
+
+    def test_dir_includes_lazy_names(self):
+        names = dir(repro)
+        assert "ConcatEngine" in names
+        assert "Request" in names
+
+    def test_eager_exports(self):
+        assert repro.Request is not None
+        assert repro.BatchConfig is not None
+        assert callable(repro.total_utility)

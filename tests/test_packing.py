@@ -1,0 +1,108 @@
+"""Tests for the row-packing policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.packing import (
+    pack_best_fit_decreasing,
+    pack_first_fit,
+    pack_in_order,
+)
+from repro.types import make_requests
+
+PACKERS = [pack_in_order, pack_first_fit, pack_best_fit_decreasing]
+
+
+class TestPackInOrder:
+    def test_preserves_order_within_rows(self):
+        reqs = make_requests([4, 3, 2], start_id=0)
+        res = pack_in_order(reqs, num_rows=1, row_length=10)
+        ids = [s.request.request_id for s in res.layout.rows[0].segments]
+        assert ids == [0, 1, 2]
+
+    def test_closes_row_on_misfit(self):
+        # 4 then 5 don't share a 6-token row; 5 opens row 1; the later 2
+        # does NOT backfill row 0 (in-order semantics).
+        reqs = make_requests([4, 5, 2], start_id=0)
+        res = pack_in_order(reqs, num_rows=2, row_length=6)
+        assert [s.request.request_id for s in res.layout.rows[0].segments] == [0]
+        assert [s.request.request_id for s in res.layout.rows[1].segments] == [1]
+        assert [r.request_id for r in res.rejected] == [2]
+
+    def test_oversize_rejected(self):
+        reqs = make_requests([7], start_id=0)
+        res = pack_in_order(reqs, num_rows=2, row_length=6)
+        assert res.num_packed == 0
+        assert res.num_rejected == 1
+
+
+class TestPackFirstFit:
+    def test_backfills_earlier_rows(self):
+        reqs = make_requests([4, 5, 2], start_id=0)
+        res = pack_first_fit(reqs, num_rows=2, row_length=6)
+        assert [s.request.request_id for s in res.layout.rows[0].segments] == [0, 2]
+        assert res.num_rejected == 0
+
+    def test_rejects_when_full(self):
+        reqs = make_requests([6, 6, 1], start_id=0)
+        res = pack_first_fit(reqs, num_rows=2, row_length=6)
+        assert [r.request_id for r in res.rejected] == [2]
+
+
+class TestBestFitDecreasing:
+    def test_picks_tightest_row(self):
+        # After 5 and 4 are placed in separate rows, a 2 fits both; BFD
+        # chooses the row with less free space (the one holding 5).
+        reqs = make_requests([5, 4, 2], start_id=0)
+        res = pack_best_fit_decreasing(reqs, num_rows=2, row_length=7)
+        rows = {
+            tuple(sorted(s.request.length for s in row.segments))
+            for row in res.layout.rows
+        }
+        assert rows == {(2, 5), (4,)}
+
+    def test_bfd_never_worse_than_first_fit_on_rejections(self):
+        lengths = [9, 8, 7, 2, 2, 2, 1]
+        reqs = make_requests(lengths, start_id=0)
+        ff = pack_first_fit(reqs, num_rows=3, row_length=10)
+        bfd = pack_best_fit_decreasing(reqs, num_rows=3, row_length=10)
+        assert bfd.num_packed >= ff.num_packed
+
+
+@pytest.mark.parametrize("packer", PACKERS)
+class TestPackingInvariants:
+    @given(
+        lengths=st.lists(st.integers(1, 30), max_size=40),
+        rows=st.integers(1, 6),
+        cap=st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_feasibility_and_conservation(self, packer, lengths, rows, cap):
+        reqs = make_requests(lengths, start_id=0)
+        res = packer(reqs, num_rows=rows, row_length=cap)
+        res.layout.validate()
+        # Conservation: every request is packed XOR rejected.
+        packed_ids = {r.request_id for r in res.packed}
+        rejected_ids = {r.request_id for r in res.rejected}
+        assert packed_ids | rejected_ids == {r.request_id for r in reqs}
+        assert not (packed_ids & rejected_ids)
+        # Eq. 11: row budgets hold.
+        for row in res.layout.rows:
+            assert row.used <= cap
+        # Requests longer than a row can never be packed.
+        assert all(r.length <= cap for r in res.packed)
+        if packer is not pack_in_order:
+            # First-fit/BFD reject only when genuinely no row has space
+            # (in-order may reject fitting requests by design — no backfill).
+            max_free = max(row.free for row in res.layout.rows)
+            assert all(r.length > max_free for r in res.rejected)
+
+    @given(
+        lengths=st.lists(st.integers(1, 10), min_size=1, max_size=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_everything_fits_with_ample_capacity(self, packer, lengths):
+        reqs = make_requests(lengths, start_id=0)
+        res = packer(reqs, num_rows=len(lengths), row_length=10)
+        assert res.num_rejected == 0
+        assert res.layout.useful_tokens == sum(lengths)

@@ -1,0 +1,70 @@
+"""Paper-scale smoke tests (cost-model mode — no weights materialised).
+
+Runs the serving stack at the paper's actual parameters — batch size 64,
+row length up to 400, rates up to 1500 req/s, d_model 3072 folded into
+the calibrated cost model — to guard against scale-dependent bugs
+(overflow, quadratic blowups in host code, scheduler slowdowns).
+"""
+
+import time
+
+import pytest
+
+from repro.config import BatchConfig, ModelConfig, SchedulerConfig
+from repro.engine import ConcatEngine, NaiveEngine, SlottedConcatEngine, TurboEngine
+from repro.scheduling import DASScheduler, SlottedDASScheduler
+from repro.serving.simulator import ServingSimulator
+from repro.experiments.serving_sweeps import make_workload
+from repro.types import make_requests
+
+
+class TestPaperScale:
+    def test_paper_model_config_valid(self):
+        cfg = ModelConfig.paper()
+        assert cfg.d_model == 3072 and cfg.max_len == 400
+        assert cfg.head_dim * cfg.num_heads == cfg.d_model
+
+    def test_full_rate_serving_sweep_is_fast(self):
+        """One slot-based run at 1500 req/s must finish in seconds."""
+        batch = BatchConfig(num_rows=64, row_length=100)
+        t0 = time.perf_counter()
+        m = ServingSimulator(
+            DASScheduler(batch, SchedulerConfig()), ConcatEngine(batch)
+        ).run(make_workload(1500.0, horizon=10.0, seed=0)).metrics
+        elapsed = time.perf_counter() - t0
+        assert m.num_served > 1000
+        assert elapsed < 30.0
+
+    def test_row_length_400_batches(self):
+        batch = BatchConfig(num_rows=64, row_length=400)
+        reqs = make_requests([380, 200, 95, 13] * 40, start_id=0)
+        for engine in (
+            NaiveEngine(batch),
+            TurboEngine(batch),
+            ConcatEngine(batch),
+            SlottedConcatEngine(batch, num_slots=4),
+        ):
+            result = engine.serve(list(reqs))
+            assert result.num_served + len(result.rejected) == len(reqs)
+            assert result.latency > 0
+
+    def test_slotted_das_at_scale(self):
+        batch = BatchConfig(num_rows=64, row_length=400)
+        sched = SlottedDASScheduler(batch, SchedulerConfig())
+        reqs = make_requests(
+            [(i % 97) + 3 for i in range(3000)],
+            deadlines=[1e9] * 3000,
+            start_id=0,
+        )
+        decision = sched.select(reqs)
+        decision.validate(batch)
+        assert decision.num_selected > 500
+        # Scheduler stays fast even with 3000 waiting requests (Fig. 16).
+        assert decision.runtime < 1.0
+
+    def test_das_overhead_stays_small_at_scale(self):
+        batch = BatchConfig(num_rows=64, row_length=100)
+        m = ServingSimulator(
+            DASScheduler(batch, SchedulerConfig()), ConcatEngine(batch)
+        ).run(make_workload(400.0, horizon=10.0, seed=0)).metrics
+        assert m.scheduler_overhead_ratio < 0.10

@@ -1,0 +1,92 @@
+"""Tests for sinusoidal PE and TCB's separate positional encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import BatchLayout
+from repro.core.positional import (
+    encode_layout,
+    separate_positions,
+    sinusoidal_encoding,
+    sinusoidal_positional_encoding,
+)
+from repro.types import Request
+
+
+class TestSinusoidTable:
+    def test_matches_formula(self):
+        d = 8
+        table = sinusoidal_encoding(max_len=16, d_model=d)
+        for pos in (0, 1, 7, 15):
+            for e in range(d // 2):
+                angle = pos / (10000 ** (2 * e / d))
+                assert table[pos, 2 * e] == pytest.approx(np.sin(angle))
+                assert table[pos, 2 * e + 1] == pytest.approx(np.cos(angle))
+
+    def test_position_zero_is_alternating(self):
+        table = sinusoidal_encoding(4, 6)
+        assert table[0].tolist() == [0.0, 1.0, 0.0, 1.0, 0.0, 1.0]
+
+    def test_odd_d_model(self):
+        table = sinusoidal_encoding(4, 5)
+        assert table.shape == (4, 5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sinusoidal_encoding(0, 8)
+
+
+class TestGather:
+    def test_gather_matches_table_rows(self):
+        table = sinusoidal_encoding(10, 4)
+        pos = np.array([[0, 3, 7]])
+        pe = sinusoidal_positional_encoding(pos, 4, table)
+        assert np.allclose(pe[0, 1], table[3])
+
+    def test_without_table_builds_one(self):
+        pe = sinusoidal_positional_encoding(np.array([[0, 2]]), 6)
+        assert pe.shape == (1, 2, 6)
+
+    def test_out_of_range_rejected(self):
+        table = sinusoidal_encoding(4, 4)
+        with pytest.raises(ValueError, match="out of range"):
+            sinusoidal_positional_encoding(np.array([[5]]), 4, table)
+
+    def test_negative_positions_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            sinusoidal_positional_encoding(np.array([[-1]]), 4)
+
+    def test_d_model_mismatch_rejected(self):
+        table = sinusoidal_encoding(4, 4)
+        with pytest.raises(ValueError, match="d_model"):
+            sinusoidal_positional_encoding(np.array([[0]]), 8, table)
+
+
+class TestSeparateEncoding:
+    def _layout(self):
+        layout = BatchLayout(num_rows=1, row_length=10)
+        layout.rows[0].add(Request(request_id=0, length=3))
+        layout.rows[0].add(Request(request_id=1, length=4))
+        return layout
+
+    def test_positions_restart(self):
+        pos = separate_positions(self._layout())
+        assert pos[0].tolist() == [0, 1, 2, 0, 1, 2, 3]
+
+    def test_separate_equals_per_request_encoding(self):
+        """Fig. 5b: each concatenated request is encoded as if alone."""
+        layout = self._layout()
+        d = 8
+        pe = encode_layout(layout, d, separate=True)
+        table = sinusoidal_encoding(8, d)
+        # Segment 1 spans columns 3..7, positions 0..3.
+        assert np.allclose(pe[0, 3:7], table[:4])
+
+    def test_traditional_differs_for_second_segment(self):
+        layout = self._layout()
+        d = 8
+        sep = encode_layout(layout, d, separate=True)
+        trad = encode_layout(layout, d, separate=False)
+        # First segment identical; second segment shifted.
+        assert np.allclose(sep[0, :3], trad[0, :3])
+        assert not np.allclose(sep[0, 3:7], trad[0, 3:7])

@@ -1,0 +1,81 @@
+"""Tests for the ASCII layout/mask renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import BatchLayout
+from repro.core.masks import block_diagonal_mask, causal_block_mask
+from repro.core.render import (
+    render_layout,
+    render_mask,
+    render_positions,
+    request_letters,
+)
+from repro.core.slotting import pack_into_slots
+from repro.types import Request, make_requests
+
+
+def _layout():
+    layout = BatchLayout(num_rows=2, row_length=8)
+    layout.rows[0].add(Request(request_id=10, length=3))
+    layout.rows[0].add(Request(request_id=11, length=2))
+    layout.rows[1].add(Request(request_id=12, length=4))
+    return layout
+
+
+class TestRenderLayout:
+    def test_letters_and_padding(self):
+        art = render_layout(_layout())
+        lines = art.splitlines()
+        assert lines[0] == "row 0: aaabb"
+        assert lines[1] == "row 1: cccc."
+
+    def test_slot_boundaries_marked(self):
+        reqs = make_requests([4, 4, 4, 4], start_id=0)
+        res = pack_into_slots(reqs, num_rows=1, row_length=16, slot_size=4)
+        art = render_layout(res.layout)
+        assert "|" in art
+        assert art.count("|") == 3  # boundaries at 4, 8, 12
+
+    def test_fixed_width(self):
+        art = render_layout(_layout(), width=8)
+        assert art.splitlines()[0].endswith("aaabb...")
+
+    def test_letter_mapping_stable(self):
+        layout = _layout()
+        assert request_letters(layout) == {10: "a", 11: "b", 12: "c"}
+
+
+class TestRenderPositions:
+    def test_separate_restarts(self):
+        art = render_positions(_layout(), separate=True)
+        assert art.splitlines()[0] == "row 0: 01201"
+
+    def test_traditional_continues(self):
+        art = render_positions(_layout(), separate=False)
+        assert art.splitlines()[0] == "row 0: 01234"
+
+    def test_padding_dot(self):
+        art = render_positions(_layout(), separate=True)
+        assert art.splitlines()[1] == "row 1: 0123."
+
+
+class TestRenderMask:
+    def test_block_diagonal_pattern(self):
+        seg = np.array([[0, 0, 1]])
+        art = render_mask(block_diagonal_mask(seg))
+        assert art.splitlines() == ["##.", "##.", "..#"]
+
+    def test_causal_pattern(self):
+        seg = np.array([[0, 0, 0]])
+        art = render_mask(causal_block_mask(seg))
+        assert art.splitlines() == ["#..", "##.", "###"]
+
+    def test_row_selection(self):
+        seg = np.array([[0, 0], [1, 2]])
+        art = render_mask(block_diagonal_mask(seg), row=1)
+        assert art.splitlines() == ["#.", ".#"]
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            render_mask(np.zeros(4))

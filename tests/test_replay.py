@@ -1,0 +1,79 @@
+"""Tests for workload trace persistence."""
+
+import math
+
+import pytest
+
+from repro.types import Request, make_requests
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.replay import (
+    load_trace,
+    save_trace,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+
+
+class TestTraceRoundtrip:
+    def test_basic_roundtrip(self):
+        reqs = make_requests(
+            [3, 7], arrivals=[0.5, 0.1], deadlines=[2.0, 3.0], start_id=0
+        )
+        back = trace_from_jsonl(trace_to_jsonl(reqs))
+        # Output is arrival-sorted.
+        assert [r.request_id for r in back] == [1, 0]
+        assert {r.request_id: r.length for r in back} == {0: 3, 1: 7}
+        assert all(isinstance(r, Request) for r in back)
+
+    def test_infinite_deadline_roundtrip(self):
+        reqs = make_requests([4], start_id=0)
+        back = trace_from_jsonl(trace_to_jsonl(reqs))
+        assert math.isinf(back[0].deadline)
+
+    def test_tokens_and_weight_roundtrip(self):
+        r = Request(request_id=5, length=3, tokens=(7, 8, 9), weight=2.5)
+        back = trace_from_jsonl(trace_to_jsonl([r]))[0]
+        assert back.tokens == (7, 8, 9)
+        assert back.weight == 2.5
+
+    def test_generated_workload_roundtrip(self):
+        reqs = WorkloadGenerator(rate=40.0, horizon=2.0, seed=3).generate()
+        back = trace_from_jsonl(trace_to_jsonl(reqs))
+        assert [(r.arrival, r.length, r.deadline) for r in back] == [
+            (r.arrival, r.length, r.deadline) for r in reqs
+        ]
+
+    def test_file_roundtrip(self, tmp_path):
+        reqs = make_requests([3, 4, 5], start_id=10)
+        path = tmp_path / "trace.jsonl"
+        save_trace(reqs, path)
+        assert load_trace(path) == sorted(
+            reqs, key=lambda r: (r.arrival, r.request_id)
+        )
+
+    def test_bad_line_reported_with_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            trace_from_jsonl('{"id":0,"length":3,"arrival":0.0}\nnot json')
+
+    def test_blank_lines_skipped(self):
+        text = trace_to_jsonl(make_requests([3], start_id=0)) + "\n\n"
+        assert len(trace_from_jsonl(text)) == 1
+
+    def test_replayable_through_simulator(self):
+        from repro.config import BatchConfig
+        from repro.engine.concat import ConcatEngine
+        from repro.scheduling.baselines import FCFSScheduler
+        from repro.serving.simulator import ServingSimulator
+
+        wl = WorkloadGenerator(rate=60.0, horizon=2.0, seed=1)
+        original = wl.generate()
+        replayed = trace_from_jsonl(trace_to_jsonl(original))
+        batch = BatchConfig(num_rows=4, row_length=50)
+        m1 = ServingSimulator(FCFSScheduler(batch), ConcatEngine(batch)).run(
+            list(original), horizon=2.0
+        ).metrics
+        m2 = ServingSimulator(FCFSScheduler(batch), ConcatEngine(batch)).run(
+            replayed, horizon=2.0
+        ).metrics
+        assert m1.num_served == m2.num_served
+        assert m1.total_utility == pytest.approx(m2.total_utility)

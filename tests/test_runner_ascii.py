@@ -1,0 +1,82 @@
+"""Tests for the all-figures runner and ASCII charts."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_chart, sparkline
+from repro.experiments.runner import run_all_figures, write_report
+
+
+class TestSparkline:
+    def test_monotone_series_uses_rising_blocks(self):
+        s = sparkline([1, 2, 3, 4])
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+        assert len(s) == 4
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_fixed_range(self):
+        # With lo/hi pinned wide, a mid value lands mid-block.
+        s = sparkline([5.0], lo=0.0, hi=10.0)
+        assert s in "▄▅"
+
+
+class TestAsciiChart:
+    def test_multi_series_alignment(self):
+        chart = ascii_chart(
+            {"x": [1, 2, 3], "a": [1, 2, 3], "bb": [3, 2, 1]},
+            x_key="x",
+            title="t",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert any("a  " in l for l in lines)
+        assert "1 … 3 (x)" in lines[-1]
+
+    def test_shared_scale_comparability(self):
+        chart = ascii_chart({"lo": [1, 1], "hi": [10, 10]})
+        lo_line = next(l for l in chart.splitlines() if l.strip().startswith("lo"))
+        hi_line = next(l for l in chart.splitlines() if l.strip().startswith("hi"))
+        assert "▁▁" in lo_line
+        assert "██" in hi_line
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            ascii_chart({"a": [1], "b": [1, 2]})
+
+    def test_empty_is_title(self):
+        assert ascii_chart({}, title="empty") == "empty"
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def results(self):
+        # fig13/14 are cost-model-only and fast; restrict the serving
+        # sweeps via fast mode.
+        return run_all_figures(fast=True)
+
+    def test_all_figures_present(self, results):
+        assert set(results) == {
+            "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15a", "fig15b", "fig15c", "fig16",
+        }
+
+    def test_series_nonempty(self, results):
+        for name, series in results.items():
+            assert series, name
+            n = len(next(iter(series.values())))
+            assert all(len(v) == n for v in series.values()), name
+
+    def test_report_renders(self, results):
+        report = write_report(results)
+        for name in results:
+            assert f"## {name}" in report
+        assert "▁" in report or "█" in report  # charts included
+
+    def test_report_without_charts(self, results):
+        report = write_report(results, charts=False)
+        assert "▁" not in report

@@ -1,0 +1,157 @@
+"""Tests for Algorithm 1 (DAS)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BatchConfig, SchedulerConfig
+from repro.scheduling.das import DASScheduler, das_row_parts
+from repro.types import Request, make_requests
+
+
+def _req(rid, length, deadline=math.inf, arrival=0.0):
+    return Request(request_id=rid, length=length, arrival=arrival, deadline=deadline)
+
+
+class TestDasRowParts:
+    def test_prefix_is_utility_dominant(self):
+        # Sorted by utility: lengths 2,3,4,5,6 -> s=3 fit in L=10 (2+3+4=9).
+        cands = [_req(i, l) for i, l in enumerate([2, 3, 4, 5, 6])]
+        n_u, n_d, rest = das_row_parts(cands, row_length=10, eta=0.5, q=0.5)
+        # p = max(1, floor(0.5*3)) = 1.
+        assert [r.request_id for r in n_u] == [0]
+        # v̄ = 1/2, threshold = 1/4 → N^D = lengths ≤ 4, i.e. requests 1, 2.
+        assert {r.request_id for r in n_d} == {1, 2}
+        assert {r.request_id for r in rest} == {3, 4}
+
+    def test_deadline_sorting_in_nd(self):
+        cands = [
+            _req(0, 2),
+            _req(1, 3, deadline=9.0),
+            _req(2, 3, deadline=1.0),
+            _req(3, 3, deadline=5.0),
+        ]
+        _, n_d, _ = das_row_parts(cands, row_length=8, eta=0.5, q=0.5)
+        assert [r.request_id for r in n_d] == [2, 3, 1]
+
+    def test_oversize_head_degenerates(self):
+        cands = [_req(0, 50), _req(1, 60)]
+        n_u, n_d, rest = das_row_parts(cands, row_length=10, eta=0.5, q=0.5)
+        assert n_u == [] and n_d == []
+        assert len(rest) == 2
+
+    def test_p_at_least_one(self):
+        cands = [_req(0, 5), _req(1, 6)]
+        n_u, _, _ = das_row_parts(cands, row_length=5, eta=0.1, q=0.9)
+        assert len(n_u) == 1  # floor(0.1 * 1) = 0 → clamped to 1
+
+
+class TestDASScheduler:
+    def _sched(self, rows=2, L=10, eta=0.5, q=0.5):
+        return DASScheduler(
+            BatchConfig(num_rows=rows, row_length=L),
+            SchedulerConfig(eta=eta, q=q),
+            record_parts=True,
+        )
+
+    def test_all_fit_fast_path(self):
+        """Algorithm 1 lines 4–5: everything goes into the current row."""
+        sched = self._sched(rows=3, L=100)
+        reqs = make_requests([5, 10, 20], start_id=0)
+        d = sched.select(reqs)
+        assert d.num_selected == 3
+        assert len(d.rows) == 1  # one row swallowed everything
+
+    def test_decision_satisfies_constraints(self):
+        sched = self._sched(rows=2, L=10)
+        reqs = make_requests([3, 4, 5, 6, 7, 2, 2], start_id=0)
+        d = sched.select(reqs)
+        d.validate(sched.batch)  # Eq. 10 and Eq. 11
+
+    def test_requests_longer_than_row_never_selected(self):
+        sched = self._sched(rows=2, L=10)
+        reqs = make_requests([15, 3, 12], start_id=0)
+        d = sched.select(reqs)
+        assert all(r.length <= 10 for r in d.selected())
+
+    def test_utility_dominant_requests_always_selected(self):
+        """The shortest (highest-utility) requests must be in the batch."""
+        sched = self._sched(rows=1, L=10)
+        reqs = make_requests([2, 9, 9, 9, 9], start_id=0)
+        d = sched.select(reqs)
+        assert reqs[0].request_id in {r.request_id for r in d.selected()}
+
+    def test_deadline_awareness_beats_pure_utility(self):
+        """An urgent request with decent utility displaces a relaxed one
+        of slightly higher utility (the motivation of §5.2)."""
+        sched = self._sched(rows=1, L=10, eta=0.5, q=0.5)
+        reqs = [
+            _req(0, 2, deadline=100.0),  # utility dominant (p=1)
+            _req(1, 4, deadline=100.0),  # relaxed
+            _req(2, 5, deadline=1.0),  # urgent, utility 0.2 ≥ q·v̄ = 0.25? no
+            _req(3, 4, deadline=1.0),  # urgent, utility 0.25 ≥ 0.25 ✓
+        ]
+        d = sched.select(reqs)
+        chosen = {r.request_id for r in d.selected()}
+        assert 0 in chosen
+        assert 3 in chosen  # urgent deadline-aware pick goes first
+
+    def test_record_parts(self):
+        sched = self._sched(rows=2, L=10)
+        reqs = make_requests([2, 3, 4, 5, 6, 7], start_id=0)
+        sched.select(reqs)
+        assert len(sched.last_parts) == len(sched.select(reqs).rows)
+
+    def test_runtime_measured(self):
+        sched = self._sched()
+        d = sched.select(make_requests([3, 4], start_id=0))
+        assert d.runtime > 0
+
+    def test_empty_waiting_set(self):
+        d = self._sched().select([])
+        assert d.rows == []
+        assert d.num_selected == 0
+
+    def test_rows_never_exceed_batch(self):
+        sched = self._sched(rows=3, L=5)
+        reqs = make_requests([5] * 50, start_id=0)
+        d = sched.select(reqs)
+        assert len(d.rows) <= 3
+        assert d.num_selected == 3  # one 5-token request per row
+
+    @given(
+        lengths=st.lists(st.integers(1, 20), min_size=1, max_size=40),
+        rows=st.integers(1, 5),
+        cap=st.integers(1, 30),
+        eta=st.floats(0.05, 0.95),
+        q=st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_constraints_always_hold(self, lengths, rows, cap, eta, q):
+        sched = DASScheduler(
+            BatchConfig(num_rows=rows, row_length=cap),
+            SchedulerConfig(eta=eta, q=q),
+        )
+        reqs = make_requests(lengths, start_id=0)
+        d = sched.select(reqs)
+        d.validate(sched.batch)
+        chosen = {r.request_id for r in d.selected()}
+        assert chosen <= {r.request_id for r in reqs}
+
+    @given(
+        lengths=st.lists(st.integers(1, 10), min_size=1, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_greedy_saturation(self, lengths):
+        """If anything is left unselected, no selected row can fit the
+        smallest leftover (DAS back-fills greedily, lines 13–15)."""
+        sched = DASScheduler(BatchConfig(num_rows=2, row_length=12))
+        reqs = make_requests(lengths, start_id=0)
+        d = sched.select(reqs)
+        chosen = {r.request_id for r in d.selected()}
+        leftover = [r for r in reqs if r.request_id not in chosen and r.length <= 12]
+        if leftover and len(d.rows) == 2:
+            smallest = min(r.length for r in leftover)
+            for row in d.rows:
+                assert 12 - sum(r.length for r in row) < smallest

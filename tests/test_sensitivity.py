@@ -1,0 +1,37 @@
+"""Tests for the cost-model sensitivity harness."""
+
+import pytest
+
+from repro.engine.cost_model import GPUCostModel
+from repro.experiments.sensitivity import (
+    PERTURBABLE,
+    headline_metrics,
+    sensitivity_sweep,
+)
+
+
+class TestHeadlineMetrics:
+    def test_baseline_values_sane(self):
+        m = headline_metrics(GPUCostModel.calibrated(), horizon=4.0, seeds=(0,))
+        assert m["fig10_gap"] > 1.0
+        assert m["tcb_wins_fcfs"] in (0.0, 1.0)
+        assert m["fig14_speedup"] > 1.5
+        assert abs(m["fig14_plateau"]) < 1.0
+
+
+class TestSensitivitySweep:
+    def test_single_constant_sweep(self):
+        out = sensitivity_sweep(
+            factors=(0.5,), constants=("per_token",), horizon=4.0, seeds=(0,)
+        )
+        assert out["perturbation"] == ["baseline", "per_token ×0.5"]
+        assert len(out["fig10_gap"]) == 2
+
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(ValueError, match="unknown cost constant"):
+            sensitivity_sweep(constants=("warp_speed",))
+
+    def test_perturbable_matches_model_fields(self):
+        cm = GPUCostModel.calibrated()
+        for name in PERTURBABLE:
+            assert hasattr(cm, name)

@@ -1,0 +1,113 @@
+"""Tests for checkpoint serialization and serving traces."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import BatchConfig, ModelConfig
+from repro.engine.concat import ConcatEngine
+from repro.model.params import init_seq2seq
+from repro.model.seq2seq import Seq2SeqModel
+from repro.model.serialization import load_params, save_params
+from repro.scheduling.baselines import FCFSScheduler
+from repro.serving.simulator import ServingSimulator
+from repro.serving.trace import slot_records, timeline, to_jsonl
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.generator import LengthDistribution, WorkloadGenerator
+
+
+class TestSerialization:
+    def test_roundtrip_bit_exact(self, tmp_path, tiny_config):
+        params = init_seq2seq(tiny_config, seed=9)
+        path = tmp_path / "ckpt.npz"
+        save_params(params, path)
+        loaded = load_params(path)
+        assert loaded.config == tiny_config
+        np.testing.assert_array_equal(loaded.embedding, params.embedding)
+        np.testing.assert_array_equal(
+            loaded.encoder_layers[1].ffn.w1, params.encoder_layers[1].ffn.w1
+        )
+        np.testing.assert_array_equal(
+            loaded.decoder_layers[0].cross_attn.w_k,
+            params.decoder_layers[0].cross_attn.w_k,
+        )
+
+    def test_loaded_model_produces_identical_outputs(
+        self, tmp_path, tiny_config, tokenized_requests
+    ):
+        from repro.core.packing import pack_first_fit
+
+        original = Seq2SeqModel(tiny_config, seed=4)
+        path = tmp_path / "model.npz"
+        save_params(original.params, path)
+        restored = Seq2SeqModel(tiny_config, params=load_params(path))
+
+        reqs = tokenized_requests([5, 3, 6])
+        layout = pack_first_fit(reqs, num_rows=1, row_length=16).layout
+        a = original.greedy_decode(layout, max_new_tokens=4)
+        b = restored.greedy_decode(layout, max_new_tokens=4)
+        assert a.outputs == b.outputs
+
+    def test_suffix_added_on_load(self, tmp_path, tiny_config):
+        params = init_seq2seq(tiny_config, seed=0)
+        path = tmp_path / "weights.npz"
+        save_params(params, path)
+        loaded = load_params(tmp_path / "weights")  # no suffix
+        assert loaded.config == tiny_config
+
+    def test_num_parameters_preserved(self, tmp_path, tiny_config):
+        params = init_seq2seq(tiny_config, seed=1)
+        save_params(params, tmp_path / "p.npz")
+        assert load_params(tmp_path / "p.npz").num_parameters() == params.num_parameters()
+
+
+def _run_recorded():
+    batch = BatchConfig(num_rows=4, row_length=20)
+    wl = WorkloadGenerator(
+        rate=150.0,
+        lengths=LengthDistribution(family="normal", mean=8, spread=4, low=3, high=20),
+        deadlines=DeadlineModel(base_slack=2.0),
+        horizon=2.0,
+        seed=0,
+    )
+    sim = ServingSimulator(
+        FCFSScheduler(batch), ConcatEngine(batch), record_slots=True
+    )
+    return sim.run(wl), wl.generate()
+
+
+class TestTrace:
+    def test_slot_records_structure(self):
+        result, _ = _run_recorded()
+        recs = slot_records(result)
+        assert recs, "expected recorded slots"
+        for rec in recs:
+            assert rec["latency"] > 0
+            assert rec["num_served"] <= rec["num_selected"]
+            assert 0.0 <= rec["utilisation"] <= 1.0
+        starts = [r["t_start"] for r in recs]
+        assert starts == sorted(starts)
+
+    def test_timeline_conservation(self):
+        result, requests = _run_recorded()
+        tl = timeline(result, requests, num_points=20)
+        assert len(tl["t"]) == 20
+        m = result.metrics
+        assert tl["served_cum"][-1] <= m.num_served + 1e-9
+        # Queue depth is never negative and starts at zero.
+        assert tl["queue_depth"][0] == 0.0
+        assert all(q >= 0 for q in tl["queue_depth"])
+
+    def test_timeline_validates_points(self):
+        result, requests = _run_recorded()
+        with pytest.raises(ValueError):
+            timeline(result, requests, num_points=1)
+
+    def test_jsonl_parses(self):
+        result, _ = _run_recorded()
+        lines = to_jsonl(result).splitlines()
+        assert lines
+        for line in lines:
+            rec = json.loads(line)
+            assert "t_start" in rec

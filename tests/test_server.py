@@ -1,0 +1,82 @@
+"""Tests for the online TCBServer facade (real-model path)."""
+
+import pytest
+
+from repro.config import BatchConfig, ModelConfig, SchedulerConfig
+from repro.scheduling.das import DASScheduler
+from repro.serving.server import TCBServer
+
+
+@pytest.fixture()
+def server():
+    return TCBServer(
+        model_config=ModelConfig.tiny(),
+        batch=BatchConfig(num_rows=2, row_length=16),
+        seed=11,
+        max_new_tokens=4,
+    )
+
+
+class TestTCBServer:
+    def test_submit_and_step(self, server, rng):
+        rid = server.submit([5, 6, 7])
+        assert server.pending == 1
+        responses = server.step()
+        assert [r.request_id for r in responses] == [rid]
+        assert server.pending == 0
+
+    def test_poll_before_and_after(self, server):
+        rid = server.submit([5, 6, 7, 8])
+        assert server.poll(rid) is None
+        server.step()
+        resp = server.poll(rid)
+        assert resp is not None
+        assert resp.latency >= 0
+        assert len(resp.output_tokens) <= 4
+
+    def test_batched_requests_match_isolated_inference(self, server):
+        """The server's concatenated answers equal per-request decoding —
+        the user-facing version of the §4.1 correctness claim."""
+        sentences = [[5, 6, 7], [9, 10], [8, 8, 8, 8]]
+        rids = [server.submit(s) for s in sentences]
+        server.run_until_drained()
+        for s, rid in zip(sentences, rids):
+            expected = server.model.greedy_decode_single(
+                s, max_new_tokens=server.max_new_tokens
+            )
+            assert server.poll(rid).output_tokens == expected
+
+    def test_empty_submission_rejected(self, server):
+        with pytest.raises(ValueError, match="empty"):
+            server.submit([])
+
+    def test_oversize_submission_rejected(self, server):
+        with pytest.raises(ValueError, match="exceeds"):
+            server.submit(list(range(99)))
+
+    def test_step_with_empty_queue(self, server):
+        assert server.step() == []
+
+    def test_many_requests_drain(self, server):
+        rids = [server.submit([4 + i % 5] * (2 + i % 6)) for i in range(10)]
+        server.run_until_drained()
+        assert server.pending == 0
+        assert all(server.poll(r) is not None for r in rids)
+
+    def test_row_length_must_fit_model(self):
+        with pytest.raises(ValueError, match="maximum input length"):
+            TCBServer(
+                model_config=ModelConfig.tiny(max_len=8),
+                batch=BatchConfig(num_rows=2, row_length=64),
+            )
+
+    def test_custom_scheduler(self):
+        batch = BatchConfig(num_rows=2, row_length=16)
+        server = TCBServer(
+            model_config=ModelConfig.tiny(),
+            batch=batch,
+            scheduler=DASScheduler(batch, SchedulerConfig(eta=0.3, q=0.7)),
+        )
+        rid = server.submit([5, 5, 5])
+        server.step()
+        assert server.poll(rid) is not None

@@ -1,0 +1,102 @@
+"""Tests for slotted ConcatBatching packing and slot-size policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.slotting import (
+    divide_row_into_slots,
+    pack_into_slots,
+    slot_size_fixed_count,
+    slot_size_from_utility_dominant,
+)
+from repro.core.layout import RowLayout
+from repro.types import make_requests
+
+
+class TestSlotSizePolicies:
+    def test_utility_dominant_takes_longest(self):
+        reqs = make_requests([5, 12, 7], start_id=0)
+        assert slot_size_from_utility_dominant(reqs, row_length=100) == 12
+
+    def test_empty_set_falls_back_to_row(self):
+        assert slot_size_from_utility_dominant([], row_length=64) == 64
+
+    def test_clamped_to_row_length(self):
+        reqs = make_requests([500], start_id=0)
+        assert slot_size_from_utility_dominant(reqs, row_length=100) == 100
+
+    def test_fixed_count(self):
+        assert slot_size_fixed_count(4, 400) == 100
+        assert slot_size_fixed_count(7, 400) == 57
+        assert slot_size_fixed_count(1, 400) == 400
+
+    def test_fixed_count_invalid(self):
+        with pytest.raises(ValueError):
+            slot_size_fixed_count(0, 400)
+
+
+class TestDivideRow:
+    def test_even_division(self):
+        row = RowLayout(capacity=12)
+        slots = divide_row_into_slots(row, 4)
+        assert [(s.start, s.size) for s in slots] == [(0, 4), (4, 4), (8, 4)]
+
+    def test_trailing_remainder_slot(self):
+        row = RowLayout(capacity=10)
+        slots = divide_row_into_slots(row, 4)
+        assert [(s.start, s.size) for s in slots] == [(0, 4), (4, 4), (8, 2)]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            divide_row_into_slots(RowLayout(capacity=10), 0)
+
+
+class TestPackIntoSlots:
+    def test_requests_share_slots(self):
+        # Two 2-token requests share one 4-token slot (§4.2.1: "multiple
+        # short requests can be concatenated in each slot").
+        reqs = make_requests([2, 2], start_id=0)
+        res = pack_into_slots(reqs, num_rows=1, row_length=8, slot_size=4)
+        row = res.layout.rows[0]
+        assert row.slots is not None
+        assert len(row.slots[0].segments) == 2
+        assert res.rejected == []
+
+    def test_longer_than_slot_rejected(self):
+        reqs = make_requests([5, 3], start_id=0)
+        res = pack_into_slots(reqs, num_rows=2, row_length=8, slot_size=4)
+        assert [r.request_id for r in res.rejected] == [reqs[0].request_id]
+        assert [r.request_id for r in res.packed] == [reqs[1].request_id]
+
+    def test_layout_validates(self):
+        reqs = make_requests([3, 4, 2, 4, 1], start_id=0)
+        res = pack_into_slots(reqs, num_rows=2, row_length=9, slot_size=4)
+        res.layout.validate()
+        assert res.layout.scheme == "slotted"
+
+    def test_slots_per_row_property(self):
+        res = pack_into_slots(make_requests([2], start_id=0), 2, 12, 4)
+        assert res.slots_per_row == 3
+
+    @given(
+        lengths=st.lists(st.integers(1, 12), max_size=30),
+        rows=st.integers(1, 4),
+        slot=st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, lengths, rows, slot):
+        cap = 24
+        reqs = make_requests(lengths, start_id=0)
+        res = pack_into_slots(reqs, num_rows=rows, row_length=cap, slot_size=slot)
+        res.layout.validate()
+        packed = {r.request_id for r in res.packed}
+        rejected = {r.request_id for r in res.rejected}
+        assert packed | rejected == {r.request_id for r in reqs}
+        assert not packed & rejected
+        # No packed request exceeds the slot size.
+        assert all(r.length <= slot for r in res.packed)
+        # Segments stay inside their slots (validate checks, assert again).
+        for row in res.layout.rows:
+            if row.slots:
+                for s in row.slots:
+                    assert s.used <= s.size

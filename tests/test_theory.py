@@ -1,0 +1,120 @@
+"""Empirical check of Theorem 5.1: DAS is ηq/(ηq+1)-competitive.
+
+We replay DAS online over fixed time slots on random small instances,
+compute the exact offline optimum (same slot grid), and assert
+
+    ALG ≥ (ηq / (ηq + 1)) · OPT.
+
+With the paper's η = q = ½ the bound is ⅕ — deliberately loose, so the
+test also records that DAS does far better in practice (≥ ~60% of OPT on
+these instances), which we report in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BatchConfig, SchedulerConfig
+from repro.scheduling.das import DASScheduler
+from repro.scheduling.offline import exact_opt, lp_upper_bound
+from repro.types import Request
+
+
+def run_das_online(requests, slot_times, batch: BatchConfig, cfg: SchedulerConfig):
+    """Replay DAS over a fixed slot grid; returns total utility."""
+    sched = DASScheduler(batch, cfg)
+    served: set[int] = set()
+    total = 0.0
+    for t in slot_times:
+        waiting = [
+            r
+            for r in requests
+            if r.request_id not in served and r.is_available(t)
+        ]
+        decision = sched.select(waiting, t)
+        decision.validate(batch)
+        for r in decision.selected():
+            served.add(r.request_id)
+            total += r.utility
+    return total
+
+
+def random_instance(seed, n_max=10, t_slots=3):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, n_max + 1))
+    reqs = []
+    for i in range(n):
+        arrival = float(rng.uniform(0, t_slots - 0.5))
+        deadline = arrival + float(rng.uniform(0.5, t_slots))
+        reqs.append(
+            Request(
+                request_id=i,
+                length=int(rng.integers(1, 9)),
+                arrival=arrival,
+                deadline=deadline,
+            )
+        )
+    slots = [float(t) + 0.25 for t in range(t_slots)]
+    return reqs, slots
+
+
+class TestCompetitiveRatio:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_das_meets_theorem_bound(self, seed):
+        cfg = SchedulerConfig(eta=0.5, q=0.5)
+        batch = BatchConfig(num_rows=2, row_length=10)
+        reqs, slots = random_instance(seed)
+        alg = run_das_online(reqs, slots, batch, cfg)
+        opt = exact_opt(reqs, slots, batch.num_rows, batch.row_length)
+        if opt == 0.0:
+            assert alg == 0.0
+        else:
+            assert alg >= cfg.competitive_ratio * opt - 1e-9
+
+    @pytest.mark.parametrize("eta,q", [(0.3, 0.7), (0.7, 0.3), (0.5, 0.5)])
+    def test_bound_holds_across_eta_q(self, eta, q):
+        cfg = SchedulerConfig(eta=eta, q=q)
+        batch = BatchConfig(num_rows=2, row_length=12)
+        for seed in range(10):
+            reqs, slots = random_instance(seed + 1000)
+            alg = run_das_online(reqs, slots, batch, cfg)
+            opt = exact_opt(reqs, slots, batch.num_rows, batch.row_length)
+            assert alg >= cfg.competitive_ratio * opt - 1e-9
+
+    def test_das_much_better_than_bound_in_practice(self):
+        """Average empirical ratio should comfortably exceed the ⅕ bound."""
+        cfg = SchedulerConfig()
+        batch = BatchConfig(num_rows=2, row_length=10)
+        ratios = []
+        for seed in range(30):
+            reqs, slots = random_instance(seed + 5000)
+            alg = run_das_online(reqs, slots, batch, cfg)
+            opt = exact_opt(reqs, slots, batch.num_rows, batch.row_length)
+            if opt > 0:
+                ratios.append(alg / opt)
+        assert np.mean(ratios) > 0.6
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_alg_never_exceeds_opt(self, seed):
+        """Sanity: the online algorithm cannot beat the offline optimum."""
+        cfg = SchedulerConfig()
+        batch = BatchConfig(num_rows=2, row_length=10)
+        reqs, slots = random_instance(seed, n_max=7)
+        alg = run_das_online(reqs, slots, batch, cfg)
+        opt = exact_opt(reqs, slots, batch.num_rows, batch.row_length)
+        assert alg <= opt + 1e-9
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_bound_via_lp(self, seed):
+        """The chain ALG ≥ α·OPT with LP ≥ OPT: check ALG vs exact OPT and
+        that the LP really upper-bounds it (Step 2 of the proof)."""
+        cfg = SchedulerConfig()
+        batch = BatchConfig(num_rows=2, row_length=10)
+        reqs, slots = random_instance(seed, n_max=7)
+        alg = run_das_online(reqs, slots, batch, cfg)
+        opt = exact_opt(reqs, slots, batch.num_rows, batch.row_length)
+        lp = lp_upper_bound(reqs, slots, batch.num_rows, batch.row_length)
+        assert lp >= opt - 1e-9
+        assert alg >= cfg.competitive_ratio * opt - 1e-9

@@ -1,0 +1,89 @@
+"""Tests for the TurboBatching DP splitter (TTB baseline)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.turbo import dp_split
+
+
+def brute_force_split(lengths, cost_fn, max_group=None):
+    """Enumerate all contiguous partitions; return the minimum cost."""
+    n = len(lengths)
+    cap = n if max_group is None else max_group
+    best = float("inf")
+    # Cut points are subsets of positions 1..n-1.
+    for k in range(n):
+        for cuts in itertools.combinations(range(1, n), k):
+            bounds = [0, *cuts, n]
+            ok = all(b - a <= cap for a, b in zip(bounds, bounds[1:]))
+            if not ok:
+                continue
+            cost = sum(
+                cost_fn(b - a, lengths[b - 1]) for a, b in zip(bounds, bounds[1:])
+            )
+            best = min(best, cost)
+    return best
+
+
+def _cost(fixed):
+    def fn(count, width):
+        return fixed + count * width
+
+    return fn
+
+
+class TestDPSplit:
+    def test_empty(self):
+        assert dp_split([], _cost(1.0)) == []
+
+    def test_single(self):
+        assert dp_split([5], _cost(1.0)) == [(0, 1)]
+
+    def test_groups_cover_input(self):
+        lengths = [1, 2, 2, 8, 9]
+        groups = dp_split(lengths, _cost(1.0))
+        flat = [i for a, b in groups for i in range(a, b)]
+        assert flat == list(range(len(lengths)))
+
+    def test_high_fixed_cost_merges_everything(self):
+        groups = dp_split([1, 2, 3, 50], _cost(1e9))
+        assert groups == [(0, 4)]
+
+    def test_zero_fixed_cost_splits_everything(self):
+        groups = dp_split([1, 5, 9], _cost(0.0))
+        assert groups == [(0, 1), (1, 2), (2, 3)]
+
+    def test_splits_at_length_jump(self):
+        # [2,2,2, 100]: padding the three 2s to 100 costs 294 extra;
+        # a split costs one extra `fixed`.
+        groups = dp_split([2, 2, 2, 100], _cost(10.0))
+        assert groups == [(0, 3), (3, 4)]
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            dp_split([3, 1], _cost(1.0))
+
+    def test_max_group_cap(self):
+        groups = dp_split([1, 1, 1, 1], _cost(1e9), max_group=2)
+        assert all(b - a <= 2 for a, b in groups)
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            dp_split([1], _cost(1.0), max_group=0)
+
+    @given(
+        lengths=st.lists(st.integers(1, 50), min_size=1, max_size=8),
+        fixed=st.floats(0.0, 100.0),
+        cap=st.integers(1, 8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_dp_is_optimal(self, lengths, fixed, cap):
+        lengths = sorted(lengths)
+        cost_fn = _cost(fixed)
+        groups = dp_split(lengths, cost_fn, max_group=cap)
+        dp_cost = sum(cost_fn(b - a, lengths[b - 1]) for a, b in groups)
+        assert all(b - a <= cap for a, b in groups)
+        best = brute_force_split(lengths, cost_fn, max_group=cap)
+        assert dp_cost == pytest.approx(best)

@@ -1,0 +1,78 @@
+"""Tests for repro.types (Request and helpers)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.types import Request, make_requests, total_tokens, total_utility
+
+
+class TestRequest:
+    def test_utility_is_inverse_length(self):
+        assert Request(request_id=0, length=4).utility == pytest.approx(0.25)
+
+    def test_length_must_be_positive(self):
+        with pytest.raises(ValueError, match="length"):
+            Request(request_id=0, length=0)
+
+    def test_deadline_before_arrival_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Request(request_id=0, length=3, arrival=5.0, deadline=4.0)
+
+    def test_deadline_equal_arrival_allowed(self):
+        r = Request(request_id=0, length=3, arrival=5.0, deadline=5.0)
+        assert r.is_available(5.0)
+
+    def test_token_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="tokens"):
+            Request(request_id=0, length=3, tokens=(1, 2))
+
+    def test_availability_window_is_closed(self):
+        r = Request(request_id=0, length=3, arrival=1.0, deadline=2.0)
+        assert not r.is_available(0.99)
+        assert r.is_available(1.0)
+        assert r.is_available(1.5)
+        assert r.is_available(2.0)
+        assert not r.is_available(2.01)
+
+    def test_with_tokens_preserves_metadata(self):
+        r = Request(request_id=9, length=3, arrival=1.0, deadline=4.0)
+        r2 = r.with_tokens([5, 6, 7])
+        assert r2.tokens == (5, 6, 7)
+        assert (r2.request_id, r2.arrival, r2.deadline) == (9, 1.0, 4.0)
+
+    def test_requests_are_hashable(self):
+        a = Request(request_id=0, length=3)
+        b = Request(request_id=0, length=3)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestMakeRequests:
+    def test_defaults(self):
+        reqs = make_requests([3, 5], start_id=100)
+        assert [r.request_id for r in reqs] == [100, 101]
+        assert all(r.arrival == 0.0 for r in reqs)
+        assert all(math.isinf(r.deadline) for r in reqs)
+
+    def test_explicit_times(self):
+        reqs = make_requests([3], arrivals=[1.0], deadlines=[2.0], start_id=0)
+        assert reqs[0].arrival == 1.0
+        assert reqs[0].deadline == 2.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal sizes"):
+            make_requests([3, 5], arrivals=[1.0])
+
+    def test_global_counter_never_collides(self):
+        a = make_requests([3, 3])
+        b = make_requests([3, 3])
+        ids = {r.request_id for r in a + b}
+        assert len(ids) == 4
+
+    @given(st.lists(st.integers(min_value=1, max_value=500), max_size=30))
+    def test_totals(self, lengths):
+        reqs = make_requests(lengths, start_id=0)
+        assert total_tokens(reqs) == sum(lengths)
+        assert total_utility(reqs) == pytest.approx(sum(1.0 / l for l in lengths))

@@ -1,0 +1,118 @@
+"""Direct tests for ToyVocab and the encoder/decoder stack modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.masks import block_diagonal_mask, padding_key_mask
+from repro.model.decoder import decode_stack, decoder_layer
+from repro.model.encoder import encode, encoder_layer, encoder_layer_slotted
+from repro.model.params import DecoderLayerParams, EncoderLayerParams
+from repro.model.vocab import ToyVocab
+
+
+class TestToyVocab:
+    def test_roundtrip(self):
+        v = ToyVocab()
+        text = "the water place"
+        assert v.decode(v.encode(text)) == text
+
+    def test_unknown_word_maps_to_unk(self):
+        v = ToyVocab()
+        ids = v.encode("xylophone")
+        assert ids == [ToyVocab.UNK]
+        assert v.decode(ids) == "<unk>"
+
+    def test_specials(self):
+        v = ToyVocab()
+        assert v.decode([ToyVocab.BOS, *v.encode("the"), ToyVocab.EOS, *v.encode("of")]) == "the"
+
+    def test_random_sentence_length(self, rng):
+        v = ToyVocab()
+        s = v.random_sentence(7, rng)
+        assert len(s.split()) == 7
+        assert all(w in v.words for w in s.split())
+
+    def test_random_tokens_in_range(self, rng):
+        v = ToyVocab()
+        toks = v.random_tokens(20, rng)
+        assert all(4 <= t < v.size for t in toks)
+
+    def test_custom_words(self):
+        v = ToyVocab(["alpha", "beta"])
+        assert v.size == 6
+        assert v.encode("beta alpha") == [5, 4]
+
+
+class TestEncoderStack:
+    @pytest.fixture()
+    def layer(self):
+        return EncoderLayerParams.init(np.random.default_rng(0), d_model=16, d_ff=32)
+
+    def test_layer_preserves_shape(self, layer, rng):
+        x = rng.normal(size=(2, 5, 16))
+        assert encoder_layer(layer, 4, x).shape == x.shape
+
+    def test_stack_applies_layers_in_order(self, layer, rng):
+        x = rng.normal(size=(1, 4, 16))
+        one = encoder_layer(layer, 4, x)
+        two = encode([layer, layer], 4, x)
+        assert np.allclose(two, encoder_layer(layer, 4, one))
+
+    def test_slotted_layer_matches_masked(self, layer, rng):
+        x = rng.normal(size=(1, 6, 16))
+        seg = np.array([[0, 0, 0, 1, 1, 1]])
+        masked = encoder_layer(layer, 4, x, mask=block_diagonal_mask(seg))
+        slotted = encoder_layer_slotted(
+            layer,
+            4,
+            x,
+            [(0, 3), (3, 6)],
+            [block_diagonal_mask(seg[:, :3]), block_diagonal_mask(seg[:, 3:])],
+        )
+        assert np.allclose(masked, slotted, atol=1e-12)
+
+    def test_stack_slotted_path(self, layer, rng):
+        x = rng.normal(size=(1, 6, 16))
+        out = encode([layer], 4, x, slot_spans=[(0, 3), (3, 6)])
+        assert out.shape == x.shape
+
+    def test_padding_mask_blocks_influence(self, layer, rng):
+        x = rng.normal(size=(1, 4, 16))
+        seg = np.array([[0, 0, 0, -1]])
+        mask = padding_key_mask(seg)
+        out1 = encoder_layer(layer, 4, x, mask=mask)
+        x2 = x.copy()
+        x2[0, 3] += 100.0  # perturb the padded position
+        out2 = encoder_layer(layer, 4, x2, mask=mask)
+        assert np.allclose(out1[0, :3], out2[0, :3])
+
+
+class TestDecoderStack:
+    @pytest.fixture()
+    def layer(self):
+        return DecoderLayerParams.init(np.random.default_rng(1), d_model=16, d_ff=32)
+
+    def test_layer_shapes(self, layer, rng):
+        x = rng.normal(size=(2, 3, 16))
+        mem = rng.normal(size=(2, 7, 16))
+        assert decoder_layer(layer, 4, x, mem).shape == x.shape
+
+    def test_stack_composition(self, layer, rng):
+        x = rng.normal(size=(1, 3, 16))
+        mem = rng.normal(size=(1, 5, 16))
+        one = decoder_layer(layer, 4, x, mem)
+        two = decode_stack([layer, layer], 4, x, mem)
+        assert np.allclose(two, decoder_layer(layer, 4, one, mem))
+
+    def test_cross_mask_blocks_memory(self, layer, rng):
+        x = rng.normal(size=(1, 2, 16))
+        mem = rng.normal(size=(1, 4, 16))
+        from repro.core.masks import NEG_INF
+
+        cross = np.zeros((1, 2, 4))
+        cross[:, :, 2:] = NEG_INF  # hide second half of memory
+        out1 = decoder_layer(layer, 4, x, mem, cross_mask=cross)
+        mem2 = mem.copy()
+        mem2[0, 2:] += 50.0
+        out2 = decoder_layer(layer, 4, x, mem2, cross_mask=cross)
+        assert np.allclose(out1, out2)

@@ -1,0 +1,133 @@
+"""Tests for workload generation (Poisson arrivals, length families)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.generator import LengthDistribution, WorkloadGenerator
+from repro.workload.traces import glue_dia_like, paper_default, paracrawl_like
+
+
+class TestLengthDistribution:
+    @pytest.mark.parametrize(
+        "family", ["normal", "uniform", "lognormal", "bimodal", "constant"]
+    )
+    def test_bounds_respected(self, family, rng):
+        dist = LengthDistribution(family=family, mean=20, spread=30, low=3, high=100)
+        samples = dist.sample(5000, rng)
+        assert samples.min() >= 3
+        assert samples.max() <= 100
+        assert samples.dtype == np.int64
+
+    def test_normal_mean_approximate(self, rng):
+        dist = LengthDistribution(family="normal", mean=20, spread=5, low=3, high=100)
+        samples = dist.sample(20000, rng)
+        assert abs(samples.mean() - 20) < 0.5
+
+    def test_spread_increases_dispersion(self, rng):
+        lo = LengthDistribution(family="normal", mean=20, spread=5).sample(10000, rng)
+        hi = LengthDistribution(family="normal", mean=20, spread=50).sample(10000, rng)
+        assert hi.std() > lo.std()
+
+    def test_constant(self, rng):
+        dist = LengthDistribution(family="constant", mean=17, low=3, high=100)
+        assert set(dist.sample(100, rng).tolist()) == {17}
+
+    def test_bimodal_has_two_modes(self, rng):
+        dist = LengthDistribution(family="bimodal", mean=50, spread=6, low=3, high=100)
+        s = dist.sample(10000, rng)
+        short = (s < 40).mean()
+        long_ = (s > 60).mean()
+        assert short > 0.3 and long_ > 0.3
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            LengthDistribution(low=0)
+        with pytest.raises(ValueError):
+            LengthDistribution(low=10, high=5)
+
+    def test_zero_samples(self, rng):
+        assert LengthDistribution().sample(0, rng).size == 0
+        with pytest.raises(ValueError):
+            LengthDistribution().sample(-1, rng)
+
+
+class TestDeadlineModel:
+    def test_deadline_after_arrival(self, rng):
+        dm = DeadlineModel(base_slack=1.0, slack_per_token=0.1, jitter=0.5)
+        d = dm.deadline(arrival=10.0, length=5, rng=rng)
+        assert 11.5 <= d <= 12.0
+
+    def test_no_jitter_deterministic(self, rng):
+        dm = DeadlineModel(base_slack=2.0, slack_per_token=0.0, jitter=0.0)
+        assert dm.deadline(1.0, 10, rng) == 3.0
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlineModel(base_slack=-1.0)
+
+
+class TestWorkloadGenerator:
+    def test_poisson_rate_approximate(self):
+        wl = WorkloadGenerator(rate=200.0, horizon=20.0, seed=3)
+        reqs = wl.generate()
+        assert abs(len(reqs) - 4000) < 4000 * 0.1
+
+    def test_arrivals_sorted_within_horizon(self):
+        reqs = WorkloadGenerator(rate=50.0, horizon=5.0, seed=0).generate()
+        arr = [r.arrival for r in reqs]
+        assert arr == sorted(arr)
+        assert all(0 <= a < 5.0 for a in arr)
+
+    def test_deterministic_by_seed(self):
+        a = WorkloadGenerator(rate=50.0, horizon=2.0, seed=9).generate()
+        b = WorkloadGenerator(rate=50.0, horizon=2.0, seed=9).generate()
+        assert [(r.arrival, r.length) for r in a] == [
+            (r.arrival, r.length) for r in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(rate=50.0, horizon=2.0, seed=1).generate()
+        b = WorkloadGenerator(rate=50.0, horizon=2.0, seed=2).generate()
+        assert [r.arrival for r in a] != [r.arrival for r in b]
+
+    def test_start_id_offsets(self):
+        reqs = WorkloadGenerator(rate=10.0, horizon=1.0, seed=0).generate(start_id=100)
+        assert all(r.request_id >= 100 for r in reqs)
+
+    def test_ids_unique(self):
+        reqs = WorkloadGenerator(rate=100.0, horizon=3.0, seed=0).generate()
+        assert len({r.request_id for r in reqs}) == len(reqs)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(rate=0.0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(rate=1.0, horizon=0.0)
+
+    def test_low_rate_long_gap_covered(self):
+        # Rate low enough that the first arrival batch may not reach the
+        # horizon — the generator must extend until it does.
+        reqs = WorkloadGenerator(rate=0.5, horizon=30.0, seed=4).generate()
+        assert all(r.arrival < 30.0 for r in reqs)
+
+
+class TestNamedTraces:
+    def test_paper_default_matches_section_6(self):
+        wl = paper_default(rate=100.0, seed=0)
+        reqs = wl.generate()
+        lengths = np.array([r.length for r in reqs])
+        assert lengths.min() >= 3 and lengths.max() <= 100
+        assert abs(lengths.mean() - 20) < 5
+
+    def test_paracrawl_like_heavy_tail(self):
+        reqs = paracrawl_like(rate=300.0, seed=0).generate()
+        lengths = np.array([r.length for r in reqs])
+        # Heavy right tail: mean well above median.
+        assert lengths.mean() > np.median(lengths) * 1.15
+
+    def test_glue_dia_like_bimodal(self):
+        reqs = glue_dia_like(rate=300.0, seed=0).generate()
+        lengths = np.array([r.length for r in reqs])
+        assert (lengths < 40).mean() > 0.25
+        assert (lengths > 70).mean() > 0.25
