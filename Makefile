@@ -1,6 +1,6 @@
 # Convenience targets for the TCB reproduction.
 
-.PHONY: install test bench examples figures report clean
+.PHONY: install test bench examples figures lint report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -17,7 +17,18 @@ examples:
 figures:
 	python -m repro figure all --out figures_report.txt
 
-report: test bench
+# tcblint (the repo's own AST invariant checker) always runs; ruff and
+# mypy run when installed (pip install -e .[dev]) and are skipped with
+# a notice otherwise, so `make lint` works in the bare container.
+lint:
+	python -m repro lint
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
+	else echo "ruff not installed — skipped (pip install -e .[dev])"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+	else echo "mypy not installed — skipped (pip install -e .[dev])"; fi
+
+report: lint test bench
+	python -m repro lint --format json --out lint_report.json
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro ablation packing [--format ...]
     python -m repro demo
     python -m repro info
+    python -m repro lint [--format text|json] [--rules TCB001,...]
 
 ``--fast`` shrinks horizons/seeds so every figure runs in seconds —
 useful for smoke runs; the published numbers come from the defaults.
@@ -243,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("info", help="print version / configuration info").set_defaults(
         func=_cmd_info
     )
+
+    from repro.statics.cli import add_lint_parser
+
+    add_lint_parser(sub)
     return parser
 
 

@@ -20,6 +20,7 @@ from repro.core.layout import BatchLayout
 
 __all__ = [
     "NEG_INF",
+    "additive_mask",
     "block_diagonal_mask",
     "causal_block_mask",
     "cross_attention_mask",
@@ -31,6 +32,17 @@ __all__ = [
 # 0.0 in float32/float64 softmax, small enough to avoid inf-inf = nan when
 # masks are composed by addition.
 NEG_INF: float = -1.0e9
+
+
+def additive_mask(allowed: np.ndarray) -> np.ndarray:
+    """Lower a boolean *allowed* array to the canonical additive mask.
+
+    The one sanctioned way (tcblint rule TCB001) to build an additive
+    mask whose allow-pattern is not expressible by the specific
+    constructors below: ``0.0`` where *allowed*, :data:`NEG_INF`
+    elsewhere, float64.
+    """
+    return np.where(np.asarray(allowed, dtype=bool), 0.0, NEG_INF).astype(np.float64)
 
 
 def block_diagonal_mask(segment_ids: np.ndarray) -> np.ndarray:

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.concat_attention import att_cb, att_cb_reference, att_cb_s
 from repro.core.layout import BatchLayout
 from repro.core.masks import NEG_INF, block_diagonal_mask
+from repro.rng import ensure_rng
 
 __all__ = ["ValidationReport", "validate_layout"]
 
@@ -56,7 +57,7 @@ def validate_layout(
     atol: float = 1e-9,
 ) -> ValidationReport:
     """Run all self-checks on a layout (see module docstring)."""
-    rng = rng or np.random.default_rng(0)
+    rng = ensure_rng(rng, default_seed=0)
     report = ValidationReport()
 
     # 1. Structural invariants.

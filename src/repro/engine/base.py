@@ -28,6 +28,7 @@ import numpy as np
 from repro.config import BatchConfig, ModelConfig
 from repro.core.layout import BatchLayout
 from repro.engine.cost_model import GPUCostModel
+from repro.rng import ensure_rng
 from repro.types import Request, RequestBatchStats
 
 __all__ = ["EngineMode", "BatchResult", "InferenceEngine"]
@@ -139,13 +140,17 @@ class InferenceEngine(abc.ABC):
     # ------------------------------------------------------------------ #
 
     def materialize_tokens(
-        self, requests: Sequence[Request], seed: int = 0
+        self,
+        requests: Sequence[Request],
+        seed: int = 0,
+        *,
+        rng: Optional[np.random.Generator] = None,
     ) -> list[Request]:
         """Attach synthetic token ids (measured mode needs real tokens)."""
         cfg = self._model_config or ModelConfig.tiny(
             max_len=max(64, self.batch.row_length)
         )
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(rng, default_seed=seed)
         return [
             r
             if r.tokens is not None

@@ -24,7 +24,7 @@ from typing import Mapping, Optional
 import numpy as np
 
 from repro.core.layout import BatchLayout
-from repro.core.masks import NEG_INF, causal_block_mask
+from repro.core.masks import causal_block_mask, cross_attention_mask
 from repro.model.decoder import decode_stack
 from repro.model.functional import log_softmax
 from repro.model.seq2seq import Seq2SeqModel
@@ -46,18 +46,12 @@ def mapped_cross_attention_mask(
     enc = np.asarray(enc_seg)
     if dec.shape[0] != enc.shape[0]:
         raise ValueError("batch mismatch between decoder and encoder maps")
-    # Vectorise the mapping: unknown/padding ids map to -1.
-    lut_keys = np.array(list(beam_to_request.keys()), dtype=np.int64)
-    lut_vals = np.array(list(beam_to_request.values()), dtype=np.int64)
+    # Vectorise the mapping: unknown/padding ids map to -1, which the
+    # canonical constructor treats as padding (attends to nothing).
     mapped = np.full_like(dec, -1)
-    for k, v in zip(lut_keys, lut_vals):
+    for k, v in beam_to_request.items():
         mapped[dec == k] = v
-    allowed = (
-        (mapped[:, :, None] == enc[:, None, :])
-        & (mapped >= 0)[:, :, None]
-        & (enc >= 0)[:, None, :]
-    )
-    return np.where(allowed, 0.0, NEG_INF).astype(np.float64)
+    return cross_attention_mask(mapped, enc)
 
 
 @dataclass

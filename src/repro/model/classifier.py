@@ -27,6 +27,7 @@ from repro.config import ModelConfig
 from repro.core.layout import BatchLayout
 from repro.model.params import Seq2SeqParams, _xavier, init_seq2seq
 from repro.model.seq2seq import Seq2SeqModel
+from repro.rng import ensure_rng
 
 __all__ = ["ClassifierModel"]
 
@@ -40,6 +41,8 @@ class ClassifierModel:
         num_classes: int,
         seed: int = 0,
         encoder_params: Optional[Seq2SeqParams] = None,
+        *,
+        rng: Optional[np.random.Generator] = None,
     ):
         if num_classes < 2:
             raise ValueError("num_classes must be >= 2")
@@ -51,7 +54,9 @@ class ClassifierModel:
             seed=seed,
             params=encoder_params,
         )
-        rng = np.random.default_rng(seed + 1)
+        # Injected Generator wins; otherwise derive from the seed exactly
+        # as before (head weights stay bit-identical for a given seed).
+        rng = ensure_rng(rng, default_seed=seed + 1)
         self.head_w = _xavier(rng, config.d_model, num_classes)
         self.head_b = np.zeros(num_classes)
 

@@ -26,7 +26,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.layout import BatchLayout
-from repro.core.masks import NEG_INF
+from repro.core.masks import additive_mask
 from repro.model.functional import layer_norm, linear, softmax
 from repro.model.params import AttentionParams, DecoderLayerParams
 from repro.model.feedforward import feed_forward
@@ -157,15 +157,13 @@ class IncrementalDecoder:
         # Per-position masks against the full decoder width / enc width.
         q_seg = self.dec_seg[rows, idxs]  # (m,)
         q_pos = self.dec_pos[rows, idxs]
-        self_mask = np.where(
+        self_mask = additive_mask(
             (self.dec_seg[rows] == q_seg[:, None])
             & (self.dec_pos[rows] <= q_pos[:, None])
-            & self._processed[rows],
-            0.0,
-            NEG_INF,
+            & self._processed[rows]
         )  # (m, Wd)
-        cross_mask = np.where(
-            self.enc_seg[rows] == q_seg[:, None], 0.0, NEG_INF
+        cross_mask = additive_mask(
+            self.enc_seg[rows] == q_seg[:, None]
         )  # (m, We)
 
         # Mark the new positions processed (visible to themselves).

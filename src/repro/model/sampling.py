@@ -22,6 +22,7 @@ from repro.core.masks import causal_block_mask, cross_attention_mask
 from repro.model.decoder import decode_stack
 from repro.model.functional import softmax
 from repro.model.seq2seq import GenerationResult, Seq2SeqModel
+from repro.rng import ensure_rng
 
 __all__ = ["sample_decode"]
 
@@ -52,14 +53,19 @@ def sample_decode(
     temperature: float = 1.0,
     top_k: Optional[int] = None,
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> GenerationResult:
-    """Sampled autoregressive decoding of all requests in a layout."""
+    """Sampled autoregressive decoding of all requests in a layout.
+
+    Pass ``rng`` to share a caller-owned Generator stream; otherwise a
+    fresh one is derived from ``seed`` (historical behavior).
+    """
     if temperature < 0.0:
         raise ValueError("temperature must be >= 0")
     cfg = model.config
     if layout.num_requests == 0:
         return GenerationResult()
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(rng, default_seed=seed)
     memory = model.encode_layout(layout)
     enc_seg = layout.segment_id_matrix()
 

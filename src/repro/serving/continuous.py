@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.config import BatchConfig
 from repro.engine.cost_model import GPUCostModel
+from repro.rng import ensure_rng
 from repro.scheduling.queue import RequestQueue
 from repro.serving.metrics import ServingMetrics
 from repro.types import Request
@@ -56,6 +57,7 @@ class ContinuousBatchingSimulator:
         mean_output_tokens: float = 8.0,
         admission: str = "fcfs",
         seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
     ):
         if mean_output_tokens < 1:
             raise ValueError("mean_output_tokens must be >= 1")
@@ -66,6 +68,10 @@ class ContinuousBatchingSimulator:
         self.mean_output_tokens = mean_output_tokens
         self.admission = admission
         self.seed = seed
+        # Injected generator (replayable end-to-end by the caller); when
+        # None, each run() derives a fresh stream from the seed so
+        # repeated runs stay deterministic and bit-identical.
+        self.rng = rng
 
     # ------------------------------------------------------------------ #
 
@@ -88,7 +94,7 @@ class ContinuousBatchingSimulator:
             if horizon is None:
                 horizon = max((r.arrival for r in requests), default=0.0) + 1.0
 
-        rng = np.random.default_rng(self.seed)
+        rng = ensure_rng(self.rng, default_seed=self.seed)
         metrics = ServingMetrics(horizon=horizon)
         queue = RequestQueue()
         running: list[_Running] = []

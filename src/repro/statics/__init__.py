@@ -1,0 +1,35 @@
+"""tcblint — AST-based invariant checker for the TCB reproduction.
+
+The test suite can only probe the repo's cross-cutting invariants
+pointwise; this package enforces them *structurally*, at commit time:
+
+- additive attention masks come from ``repro.core.masks`` (TCB001),
+- all randomness threads an explicit ``np.random.Generator`` (TCB002),
+- the discrete-event simulator never reads wall-clock time (TCB003),
+- hot paths keep the canonical float64 convention (TCB004),
+- no mutable default arguments (TCB005),
+- no stray quadratic ``(…, L, L)`` score-matrix allocations (TCB006).
+
+Run it as ``python -m repro lint`` (or ``make lint``); the tier-1 test
+``tests/test_statics_clean.py`` asserts the tree is clean, making every
+invariant self-enforcing for future PRs.  See ``docs/statics.md``.
+"""
+
+from repro.statics.checks import ALL_RULES
+from repro.statics.engine import LintReport, lint_file, lint_package, lint_paths, lint_source
+from repro.statics.findings import Finding, Severity
+from repro.statics.policy import DEFAULT_POLICY, PathPolicy, RNG_ENTRY_POINTS
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_POLICY",
+    "Finding",
+    "LintReport",
+    "PathPolicy",
+    "RNG_ENTRY_POINTS",
+    "Severity",
+    "lint_file",
+    "lint_package",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,91 @@
+"""The ``python -m repro lint`` subcommand (text and JSON output)."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.statics.checks import ALL_RULES
+from repro.statics.engine import LintReport, lint_package, lint_paths
+
+__all__ = ["add_lint_parser", "run_lint"]
+
+
+def add_lint_parser(subparsers) -> argparse.ArgumentParser:
+    p = subparsers.add_parser(
+        "lint",
+        help="run tcblint, the repo's AST-based invariant checker",
+        description=(
+            "Check repo invariants (mask discipline, RNG threading, "
+            "sim-time purity, dtype, mutable defaults, quadratic "
+            "allocations) over the repro package or the given paths."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    p.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all), e.g. TCB001,TCB003",
+    )
+    p.add_argument(
+        "--no-policy",
+        action="store_true",
+        help="ignore the per-path exemption policy (show waived findings too)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    p.add_argument("--out", help="write the report to a file instead of stdout")
+    p.set_defaults(func=run_lint)
+    return p
+
+
+def _render_text(report: LintReport) -> str:
+    lines = [f.render() for f in report.findings]
+    lines.extend(f"parse error: {e}" for e in report.parse_errors)
+    summary = (
+        f"tcblint: {len(report.findings)} finding(s) in "
+        f"{report.files_scanned} file(s) "
+        f"({report.suppressed} suppressed inline, "
+        f"{report.exempted} waived by policy)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def run_lint(args) -> int:
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  [{rule.severity.value:7s}] {rule.title}")
+        return 0
+    kwargs = {"rules": args.rules.split(",") if args.rules else None}
+    if args.no_policy:
+        kwargs["policy"] = None
+    try:
+        if args.paths:
+            report = lint_paths(args.paths, **kwargs)
+        else:
+            report = lint_package(**kwargs)
+    except ValueError as exc:  # unknown rule id
+        print(f"tcblint: {exc}", file=sys.stderr)
+        return 2
+    text = (
+        json.dumps(report.to_dict(), indent=2)
+        if args.fmt == "json"
+        else _render_text(report)
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0 if report.clean else 1

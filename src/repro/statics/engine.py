@@ -1,0 +1,148 @@
+"""tcblint driver: walk files, run rules, apply policy + suppressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.statics.checks import ALL_RULES, RULES_BY_ID
+from repro.statics.findings import Finding
+from repro.statics.policy import DEFAULT_POLICY, PathPolicy, canonical_path
+from repro.statics.rules import Rule, make_context
+from repro.statics.suppressions import collect_suppressions
+
+__all__ = ["LintReport", "lint_file", "lint_package", "lint_paths", "lint_source"]
+
+
+@dataclass
+class LintReport:
+    """Result of a lint run over one or more paths."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0  # findings silenced by inline directives
+    exempted: int = 0  # findings waived by the path policy
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "exempted": self.exempted,
+            "parse_errors": list(self.parse_errors),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _select_rules(rules: Optional[Sequence[str]]) -> list[Rule]:
+    if rules is None:
+        return list(ALL_RULES)
+    selected = []
+    for rid in rules:
+        rid = rid.strip().upper()
+        if rid not in RULES_BY_ID:
+            raise ValueError(
+                f"unknown rule {rid!r}; known: {', '.join(sorted(RULES_BY_ID))}"
+            )
+        selected.append(RULES_BY_ID[rid])
+    return selected
+
+
+def lint_source(
+    source: str,
+    path: str,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    policy: Optional[PathPolicy] = DEFAULT_POLICY,
+    report: Optional[LintReport] = None,
+) -> list[Finding]:
+    """Lint one source string; *path* drives path-scoped rules/policy."""
+    report = report if report is not None else LintReport()
+    cpath = canonical_path(path)
+    ctx = make_context(source, cpath)
+    smap = collect_suppressions(source)
+    kept: list[Finding] = []
+    for rule in _select_rules(rules):
+        for finding in rule.check(ctx):
+            if policy is not None and policy.is_exempt(finding.rule, cpath):
+                report.exempted += 1
+                continue
+            if smap.is_suppressed(finding.rule, finding.line):
+                report.suppressed += 1
+                continue
+            kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    report.findings.extend(kept)
+    report.files_scanned += 1
+    return kept
+
+
+def lint_file(
+    path: str | Path,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    policy: Optional[PathPolicy] = DEFAULT_POLICY,
+    report: Optional[LintReport] = None,
+) -> list[Finding]:
+    report = report if report is not None else LintReport()
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+        return lint_source(
+            source, str(p), rules=rules, policy=policy, report=report
+        )
+    except (OSError, SyntaxError, ValueError) as exc:
+        if isinstance(exc, ValueError) and "unknown rule" in str(exc):
+            raise
+        report.parse_errors.append(f"{canonical_path(str(p))}: {exc}")
+        return []
+
+
+def _iter_python_files(root: Path) -> Iterable[Path]:
+    if root.is_file():
+        yield root
+        return
+    for p in sorted(root.rglob("*.py")):
+        if "__pycache__" in p.parts:
+            continue
+        yield p
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Optional[Sequence[str]] = None,
+    policy: Optional[PathPolicy] = DEFAULT_POLICY,
+) -> LintReport:
+    """Lint every ``*.py`` under the given files/directories."""
+    report = LintReport()
+    for root in paths:
+        rp = Path(root)
+        if not rp.exists():
+            # A typo'd path must not report green in CI.
+            report.parse_errors.append(f"{root}: path does not exist")
+            continue
+        for p in _iter_python_files(rp):
+            lint_file(p, rules=rules, policy=policy, report=report)
+    report.findings.sort(key=Finding.sort_key)
+    return report
+
+
+def lint_package(
+    *,
+    rules: Optional[Sequence[str]] = None,
+    policy: Optional[PathPolicy] = DEFAULT_POLICY,
+) -> LintReport:
+    """Lint the installed ``repro`` package source itself.
+
+    This is what ``python -m repro lint`` (no arguments) and the tier-1
+    ``tests/test_statics_clean.py`` run, so it works from any cwd.
+    """
+    package_root = Path(__file__).resolve().parent.parent  # .../repro
+    return lint_paths([package_root], rules=rules, policy=policy)

@@ -1,0 +1,55 @@
+"""Finding and severity types shared by every tcblint rule."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break reproducibility or correctness invariants
+    (wrong masks, unseeded randomness, wall-clock in the simulator);
+    ``WARNING`` findings are strong conventions (dtype, allocation
+    hygiene).  Both fail ``python -m repro lint`` — the distinction is
+    informational, for triage.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str  # e.g. "TCB001"
+    path: str  # canonical posix path, e.g. "repro/model/beam.py"
+    line: int  # 1-based
+    col: int  # 0-based, as in the ast module
+    severity: Severity
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )

@@ -1,0 +1,73 @@
+"""Inline ``# tcblint: disable=RULE`` suppression comments.
+
+Two granularities:
+
+- ``# tcblint: disable=TCB003`` on (or at the end of) a line suppresses
+  the named rules for **that line only**;
+- ``# tcblint: disable-file=TCB003`` anywhere in the file suppresses
+  the named rules for the **whole file**.
+
+Multiple rules may be given comma-separated
+(``# tcblint: disable=TCB001,TCB005``); ``all`` matches every rule.
+Comments are discovered with :mod:`tokenize`, so strings that merely
+*look* like directives do not count, and directives may share a line
+with code.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["SuppressionMap", "collect_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*tcblint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass
+class SuppressionMap:
+    """Which rules are silenced where, for one source file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+    # Count of directives that parsed, for diagnostics.
+    num_directives: int = 0
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "all" in self.file_wide or rule in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        return rules is not None and ("all" in rules or rule in rules)
+
+
+def _parse_rules(raw: str) -> set[str]:
+    return {r.strip().upper() if r.strip() != "all" else "all"
+            for r in raw.split(",") if r.strip()}
+
+
+def collect_suppressions(source: str) -> SuppressionMap:
+    """Scan *source* for tcblint directives (tolerant of bad syntax)."""
+    smap = SuppressionMap()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _DIRECTIVE.search(tok.string)
+            if not m:
+                continue
+            rules = _parse_rules(m.group("rules"))
+            if not rules:
+                continue
+            smap.num_directives += 1
+            if m.group("kind") == "disable-file":
+                smap.file_wide |= rules
+            else:
+                smap.by_line.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:  # partial files: honor what we saw
+        pass
+    return smap

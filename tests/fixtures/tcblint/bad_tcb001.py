@@ -1,0 +1,22 @@
+"""Known-bad fixture: ad-hoc additive masks (TCB001)."""
+
+import numpy as np
+
+NEG_INF = -1.0e9
+
+
+def ad_hoc_where(allowed):
+    return np.where(allowed, 0.0, NEG_INF)  # line 9: named constant
+
+
+def ad_hoc_literal(allowed):
+    return np.where(allowed, 0.0, -1e9)  # line 13: raw literal
+
+
+def ad_hoc_full(shape):
+    return np.full(shape, NEG_INF)  # line 17: full-of-NEG_INF
+
+
+def fine_top_k_filter(scores, kth):
+    # Logit truncation with -inf is NOT a mask build; must not fire.
+    return np.where(scores >= kth, scores, -np.inf)

@@ -1,0 +1,25 @@
+"""Known-bad fixture: global / untracked RNG (TCB002)."""
+
+import numpy as np
+import numpy.random as npr
+from numpy.random import default_rng
+
+
+def seeds_the_world():
+    np.random.seed(0)  # line 9: global seed
+
+
+def module_level_draws():
+    a = np.random.rand(4)  # line 13
+    b = npr.normal(size=3)  # line 14: aliased module import
+    return a, b
+
+
+def mid_pipeline_rng():
+    rng = default_rng(7)  # line 19: default_rng outside entry points
+    return rng.integers(0, 10)
+
+
+def fine_generator_threading(rng: np.random.Generator):
+    # Annotations and Generator method calls must not fire.
+    return rng.normal(size=2)

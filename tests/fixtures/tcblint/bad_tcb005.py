@@ -1,0 +1,21 @@
+"""Known-bad fixture: mutable default arguments (TCB005)."""
+
+
+def list_default(x, acc=[]):  # line 4
+    acc.append(x)
+    return acc
+
+
+def dict_default(k, v, table={}):  # line 9
+    table[k] = v
+    return table
+
+
+def factory_default(xs=list()):  # line 14
+    return xs
+
+
+def fine_none_default(x, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(x)
+    return acc

@@ -1,0 +1,10 @@
+"""Fixture: a file-wide directive silences one rule everywhere."""
+# tcblint: disable-file=TCB005
+
+
+def first(x, acc=[]):
+    return acc
+
+
+def second(k, table={}):
+    return table

@@ -1,0 +1,14 @@
+"""Fixture: every violation here carries an inline suppression."""
+
+import numpy as np
+
+NEG_INF = -1.0e9
+
+
+def waived_mask(allowed):
+    return np.where(allowed, 0.0, NEG_INF)  # tcblint: disable=TCB001
+
+
+def waived_two_rules(x, acc=[]):  # tcblint: disable=TCB005
+    np.random.seed(0)  # tcblint: disable=TCB002
+    return acc
