@@ -78,6 +78,10 @@ _LAZY = {
         "ContinuousBatchingSimulator",
     ),
     "AutoscalingSimulator": ("repro.serving.autoscale", "AutoscalingSimulator"),
+    "FaultConfig": ("repro.faults.plan", "FaultConfig"),
+    "FaultPlan": ("repro.faults.plan", "FaultPlan"),
+    "FaultyEngine": ("repro.faults.engine", "FaultyEngine"),
+    "RetryPolicy": ("repro.faults.recovery", "RetryPolicy"),
 }
 
 

@@ -96,6 +96,7 @@ def _ablations() -> dict[str, tuple[str, Callable[[], dict]]]:
         "kv-cache": ("KV-cached vs recompute decode", ab.incremental_decode_ablation),
         "das-components": ("DAS ingredient decomposition", ab.das_components_ablation),
         "sensitivity": ("cost-model sensitivity sweep", _run_sensitivity),
+        "faults": ("serving under injected faults", _run_faults),
     }
 
 
@@ -103,6 +104,12 @@ def _run_sensitivity():
     from repro.experiments.sensitivity import sensitivity_sweep
 
     return sensitivity_sweep(seeds=(0,))
+
+
+def _run_faults():
+    from repro.experiments.fault_tolerance import run_fault_tolerance
+
+    return run_fault_tolerance(seeds=(0, 1))
 
 
 def available_figures() -> list[str]:

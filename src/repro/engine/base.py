@@ -31,7 +31,11 @@ from repro.engine.cost_model import GPUCostModel
 from repro.rng import ensure_rng
 from repro.types import Request, RequestBatchStats
 
-__all__ = ["EngineMode", "BatchResult", "InferenceEngine"]
+__all__ = ["MIN_SLOT", "EngineMode", "BatchResult", "InferenceEngine"]
+
+# Engine time floor: a zero-latency slot would spin the serving loops
+# forever.  Canonical definition — serving code re-exports it.
+MIN_SLOT = 1e-6
 
 
 class EngineMode(enum.Enum):
@@ -92,8 +96,16 @@ class InferenceEngine(abc.ABC):
     # Execution
     # ------------------------------------------------------------------ #
 
-    def serve(self, requests: Sequence[Request]) -> BatchResult:
-        """Plan and execute one engine slot's worth of requests."""
+    def serve(
+        self, requests: Sequence[Request], *, now: float = 0.0
+    ) -> BatchResult:
+        """Plan and execute one engine slot's worth of requests.
+
+        ``now`` is the simulated dispatch time.  Base engines are
+        time-invariant and ignore it; the fault-injection wrapper
+        (:class:`repro.faults.engine.FaultyEngine`) needs it to decide
+        whether the engine is inside a crash-recovery window.
+        """
         if not requests:
             return BatchResult()
         layouts, rejected = self.plan(requests)

@@ -1,0 +1,188 @@
+"""Seeded, deterministic fault plans for chaos-testing the serving loops.
+
+A :class:`FaultPlan` is the single source of injected misbehaviour: for
+each engine-slot index it decides — reproducibly, from the seed alone —
+whether that slot fails outright, straggles, hits a transient OOM, or
+crashes the engine.  Determinism matters more than realism here: a
+chaos benchmark is only debuggable if the exact same fault sequence can
+be replayed from ``(config, seed)``, so each slot's event is derived
+from an independent per-index stream (query order cannot perturb it).
+
+The plan is policy-free: it only *describes* faults.  How a serving
+loop recovers (requeue, split-batch retry, failover) lives in
+:mod:`repro.faults.recovery` and the loops themselves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+__all__ = ["FaultKind", "FaultEvent", "FaultConfig", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """What goes wrong in one engine slot."""
+
+    NONE = "none"
+    FAILURE = "failure"  # batch fails after consuming its latency
+    STRAGGLER = "straggler"  # batch completes, latency multiplied
+    OOM = "oom"  # transient alloc failure if the batch packs too many tokens
+    CRASH = "crash"  # engine goes down for a recovery interval
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One slot's injected fault (``NONE`` for the healthy common case)."""
+
+    kind: FaultKind = FaultKind.NONE
+    # Latency multiplier; only meaningful for STRAGGLER events.
+    multiplier: float = 1.0
+    # Engine recovery interval in seconds; only meaningful for CRASH.
+    downtime: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-slot fault probabilities and shape parameters.
+
+    The four rates are mutually exclusive per slot (at most one fault
+    kind fires), so they must sum to at most 1.  ``oom_threshold`` is
+    the fraction of the batch token capacity above which an OOM event
+    actually aborts the batch — small batches survive the same draw,
+    which is what makes split-batch retry converge.
+    """
+
+    failure_rate: float = 0.0
+    straggler_rate: float = 0.0
+    oom_rate: float = 0.0
+    crash_rate: float = 0.0
+    # Straggler latency multiplier is drawn uniformly from this range.
+    straggler_multiplier: tuple[float, float] = (2.0, 6.0)
+    # Mean crash downtime; actual downtime is uniform in [0.5, 1.5]×this.
+    downtime: float = 1.0
+    oom_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.failure_rate,
+            self.straggler_rate,
+            self.oom_rate,
+            self.crash_rate,
+        )
+        for r in rates:
+            if not 0.0 <= r <= 1.0:
+                raise ValueError(f"fault rates must be in [0, 1], got {r}")
+        if sum(rates) > 1.0 + 1e-12:
+            raise ValueError(f"fault rates sum to {sum(rates)} > 1")
+        lo, hi = self.straggler_multiplier
+        if lo < 1.0 or hi < lo:
+            raise ValueError(
+                f"straggler_multiplier range must satisfy 1 <= lo <= hi, "
+                f"got ({lo}, {hi})"
+            )
+        if self.downtime <= 0.0:
+            raise ValueError(f"downtime must be positive, got {self.downtime}")
+        if not 0.0 < self.oom_threshold <= 1.0:
+            raise ValueError(
+                f"oom_threshold must be in (0, 1], got {self.oom_threshold}"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no fault can ever fire (healthy passthrough)."""
+        return (
+            self.failure_rate == 0.0
+            and self.straggler_rate == 0.0
+            and self.oom_rate == 0.0
+            and self.crash_rate == 0.0
+        )
+
+    @classmethod
+    def chaos(cls, rate: float, **overrides) -> "FaultConfig":
+        """One-knob preset: ``rate`` is the total per-slot fault
+        probability, split 40/30/20/10 across failure / straggler /
+        OOM / crash (ordered from most to least common in real fleets).
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        return cls(
+            failure_rate=0.4 * rate,
+            straggler_rate=0.3 * rate,
+            oom_rate=0.2 * rate,
+            crash_rate=0.1 * rate,
+            **overrides,
+        )
+
+
+class FaultPlan:
+    """Deterministic map from engine-slot index to :class:`FaultEvent`.
+
+    Each index gets its own child stream seeded by ``(seed, index)``, so
+    ``plan.event(i)`` is a pure function of ``(config, seed, i)`` — two
+    plans with equal seeds produce identical event sequences no matter
+    how (or in what order) they are queried.
+    """
+
+    def __init__(self, config: FaultConfig, seed: int = 0):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self.config = config
+        self.seed = int(seed)
+        self._cache: dict[int, FaultEvent] = {}
+
+    def event(self, index: int) -> FaultEvent:
+        """The fault event for engine slot ``index`` (cached)."""
+        if index < 0:
+            raise ValueError(f"slot index must be >= 0, got {index}")
+        cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        event = self._draw(index)
+        self._cache[index] = event
+        return event
+
+    def _draw(self, index: int) -> FaultEvent:
+        c = self.config
+        if c.is_zero:
+            return FaultEvent()
+        rng = ensure_rng(np.random.SeedSequence((self.seed, index)))
+        u = float(rng.uniform())
+        edge = c.failure_rate
+        if u < edge:
+            return FaultEvent(kind=FaultKind.FAILURE)
+        edge += c.straggler_rate
+        if u < edge:
+            lo, hi = c.straggler_multiplier
+            return FaultEvent(
+                kind=FaultKind.STRAGGLER,
+                multiplier=float(rng.uniform(lo, hi)),
+            )
+        edge += c.oom_rate
+        if u < edge:
+            return FaultEvent(kind=FaultKind.OOM)
+        edge += c.crash_rate
+        if u < edge:
+            return FaultEvent(
+                kind=FaultKind.CRASH,
+                downtime=float(rng.uniform(0.5, 1.5)) * c.downtime,
+            )
+        return FaultEvent()
+
+    def events(self, n: int) -> list[FaultEvent]:
+        """Materialise the first ``n`` slots' events."""
+        return [self.event(i) for i in range(n)]
+
+    def counts(self, n: int) -> dict[str, int]:
+        """Histogram of fault kinds over the first ``n`` slots."""
+        out = {kind.value: 0 for kind in FaultKind}
+        for e in self.events(n):
+            out[e.kind.value] += 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, config={self.config})"

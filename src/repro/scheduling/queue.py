@@ -4,6 +4,13 @@ Holds requests that have arrived but not been scheduled.  ``waiting(t)``
 returns ``N_t`` exactly as §5.2 defines it: arrived, unexpired,
 unscheduled.  Expired requests are recorded (they count as utility-zero
 failures in the metrics).
+
+Fault recovery adds two more terminal ledgers beyond ``expired``:
+``abandoned`` (given up by the retry policy after a failed batch) and
+per-request ``attempts`` counts that bound how often a request may be
+requeued.  Every request ends in exactly one ledger — served, expired,
+or abandoned — which is what the serving loops' conservation invariant
+checks.
 """
 
 from __future__ import annotations
@@ -21,7 +28,10 @@ class RequestQueue:
     def __init__(self) -> None:
         self._waiting: dict[int, Request] = {}
         self.expired: list[Request] = []
+        self.abandoned: list[Request] = []
         self.served_ids: set[int] = set()
+        # request_id -> number of failed serve attempts (retry budget).
+        self.attempts: dict[int, int] = {}
 
     def __len__(self) -> int:
         return len(self._waiting)
@@ -68,3 +78,36 @@ class RequestQueue:
                 raise KeyError(f"request {r.request_id} not in queue")
             del self._waiting[r.request_id]
             self.served_ids.add(r.request_id)
+
+    # ------------------------------------------------------------------ #
+    # Fault-recovery bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def note_attempt(self, requests: Sequence[Request]) -> None:
+        """Record one failed serve attempt per request (retry budget)."""
+        for r in requests:
+            self.attempts[r.request_id] = self.attempts.get(r.request_id, 0) + 1
+
+    def abandon(self, requests: Sequence[Request]) -> None:
+        """Give up on requests (retry budget / slack exhausted).
+
+        Unlike :meth:`drop`, abandoned requests are kept in their own
+        ledger so metrics can distinguish fault casualties from plain
+        deadline expiry.
+        """
+        for r in requests:
+            self._waiting.pop(r.request_id, None)
+            self.abandoned.append(r)
+
+    def requeue(self, requests: Sequence[Request]) -> None:
+        """Return previously dispatched requests to the wait queue.
+
+        Used by iteration-level serving when a crash or OOM evicts
+        resident requests that had already been removed via
+        :meth:`remove_served`; batch-level loops never need this because
+        failed requests only leave the queue on success.
+        """
+        for r in requests:
+            self.served_ids.discard(r.request_id)
+            if r.request_id not in self._waiting:
+                self._waiting[r.request_id] = r

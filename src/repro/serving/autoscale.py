@@ -26,16 +26,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.engine.base import InferenceEngine
-from repro.engine.slotted import SlottedConcatEngine
 from repro.scheduling.base import Scheduler
 from repro.scheduling.queue import RequestQueue
+from repro.serving.common import MIN_SLOT, apply_slot_size, resolve_workload
 from repro.serving.metrics import ServingMetrics
 from repro.types import Request
 from repro.workload.generator import WorkloadGenerator
 
 __all__ = ["AutoscalingSimulator", "ScalingEvent"]
-
-_MIN_SLOT = 1e-6
 
 
 @dataclass
@@ -80,15 +78,9 @@ class AutoscalingSimulator:
         *,
         horizon: Optional[float] = None,
     ) -> ServingMetrics:
-        if hasattr(workload, "generate"):  # any workload generator (duck-typed)
-            requests = workload.generate()
-            horizon = workload.horizon if horizon is None else horizon
-        else:
-            requests = sorted(workload, key=lambda r: (r.arrival, r.request_id))
-            if horizon is None:
-                horizon = max((r.arrival for r in requests), default=0.0) + 1.0
+        requests, horizon = resolve_workload(workload, horizon)
 
-        metrics = ServingMetrics(horizon=horizon)
+        metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
         queue = RequestQueue()
         self.events = []
 
@@ -150,10 +142,7 @@ class AutoscalingSimulator:
             decision.validate(self.scheduler.batch)
             metrics.total_scheduler_time += decision.runtime
             engine = engines[engine_id]
-            if decision.slot_size is not None and isinstance(
-                engine, SlottedConcatEngine
-            ):
-                engine.set_slot_size(decision.slot_size)
+            apply_slot_size(engine, decision)
             selected = decision.selected()
             if not selected:
                 unservable = [
@@ -170,7 +159,7 @@ class AutoscalingSimulator:
                 continue
 
             result = engine.serve(selected)
-            latency = max(result.latency, _MIN_SLOT)
+            latency = max(result.latency, MIN_SLOT)
             finish = now + latency
             queue.remove_served(result.served)
             for r in result.served:
@@ -185,6 +174,7 @@ class AutoscalingSimulator:
         queue.expire(float("inf"))
         metrics.expired.extend(queue.expired)
         metrics.expired.extend(requests[next_arrival:])
+        metrics.assert_conservation()
         return metrics
 
     @property

@@ -8,26 +8,36 @@ the earliest-idle engine.
 
 Deadline semantics, queue expiry and metrics are identical to the
 single-engine :class:`~repro.serving.simulator.ServingSimulator`, and a
-cluster of size 1 must reproduce it exactly (tested).
+cluster of size 1 must reproduce it exactly (tested — including when
+the engine is wrapped in a zero-fault
+:class:`~repro.faults.engine.FaultyEngine`).
+
+Failover semantics (``docs/faults.md``): a crashed engine leaves the
+idle heap until its recovery time, its in-flight requests go through
+the bounded deadline-aware requeue policy, queued work drains to the
+surviving engines, and the engine rejoins the heap when its downtime
+ends.  Failure detection is optimistic — the loop learns of a failed
+batch when it is dispatched, so survivors may retry its requests within
+the failed attempt's latency window.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.engine.base import InferenceEngine
-from repro.engine.slotted import SlottedConcatEngine
+from repro.faults.recovery import RetryPolicy, requeue_failed, serve_slot
 from repro.scheduling.base import Scheduler
 from repro.scheduling.queue import RequestQueue
+from repro.serving.admission import AdmissionController
+from repro.serving.common import MIN_SLOT, apply_slot_size, resolve_workload
 from repro.serving.metrics import ServingMetrics
 from repro.serving.simulator import SimulationResult
 from repro.types import Request
 from repro.workload.generator import WorkloadGenerator
 
 __all__ = ["ClusterSimulator"]
-
-_MIN_SLOT = 1e-6
 
 
 class ClusterSimulator:
@@ -37,11 +47,28 @@ class ClusterSimulator:
         self,
         scheduler: Scheduler,
         engines: Sequence[InferenceEngine],
+        *,
+        admission: Optional[AdmissionController] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if not engines:
             raise ValueError("need at least one engine")
         self.scheduler = scheduler
         self.engines = list(engines)
+        self.admission = admission
+        self.retry = retry or RetryPolicy()
+
+    def _release(self, requests: Iterable[Request]) -> None:
+        if self.admission is not None:
+            self.admission.release(list(requests))
+
+    @staticmethod
+    def _next_event_after(
+        idle: list[tuple[float, int, int]], now: float
+    ) -> Optional[float]:
+        """Earliest strictly-later time any other engine becomes idle."""
+        later = [t for (t, _, _) in idle if t > now]
+        return min(later) if later else None
 
     def run(
         self,
@@ -49,17 +76,14 @@ class ClusterSimulator:
         *,
         horizon: Optional[float] = None,
     ) -> SimulationResult:
-        if hasattr(workload, "generate"):  # any workload generator (duck-typed)
-            requests = workload.generate()
-            horizon = workload.horizon if horizon is None else horizon
-        else:
-            requests = sorted(workload, key=lambda r: (r.arrival, r.request_id))
-            if horizon is None:
-                horizon = max((r.arrival for r in requests), default=0.0) + 1.0
+        requests, horizon = resolve_workload(workload, horizon)
 
-        metrics = ServingMetrics(horizon=horizon)
+        metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
         result = SimulationResult(metrics=metrics)
         queue = RequestQueue()
+        rejected_before = (
+            len(self.admission.rejected) if self.admission is not None else 0
+        )
 
         # (idle_at, tiebreak, engine_index) priority queue.
         idle: list[tuple[float, int, int]] = [
@@ -74,28 +98,38 @@ class ClusterSimulator:
             if now >= horizon:
                 break
             while next_arrival < n and requests[next_arrival].arrival <= now:
-                queue.add(requests[next_arrival])
+                r = requests[next_arrival]
+                if self.admission is None or self.admission.admit(r, r.arrival):
+                    queue.add(r)
                 next_arrival += 1
-            queue.expire(now)
+            self._release(queue.expire(now))
             waiting = queue.waiting(now)
             if not waiting:
-                if next_arrival >= n:
-                    continue  # this engine is done; let others drain
-                # Fast-forward this engine to the next arrival.
-                heapq.heappush(
-                    idle,
-                    (requests[next_arrival].arrival, engine_idx, engine_idx),
-                )
+                if next_arrival < n:
+                    # Fast-forward this engine to the next arrival.
+                    heapq.heappush(
+                        idle,
+                        (requests[next_arrival].arrival, engine_idx, engine_idx),
+                    )
+                    continue
+                # No arrivals left, but other engines may still requeue
+                # failed work (or free nothing): re-arm at the next
+                # engine event instead of leaving the cluster for good.
+                # The tiebreak puts re-armed engines after engines that
+                # genuinely schedule at that time, so the re-poll sees
+                # the updated queue.
+                wake = self._next_event_after(idle, now)
+                if wake is not None:
+                    heapq.heappush(
+                        idle, (wake, len(self.engines) + engine_idx, engine_idx)
+                    )
                 continue
 
             decision = self.scheduler.select(waiting, now)
             decision.validate(self.scheduler.batch)
             metrics.total_scheduler_time += decision.runtime
             engine = self.engines[engine_idx]
-            if decision.slot_size is not None and isinstance(
-                engine, SlottedConcatEngine
-            ):
-                engine.set_slot_size(decision.slot_size)
+            apply_slot_size(engine, decision)
 
             selected = decision.selected()
             if not selected:
@@ -106,18 +140,63 @@ class ClusterSimulator:
                 ]
                 if unservable:
                     queue.drop(unservable)
+                    self._release(unservable)
                     heapq.heappush(idle, (now, engine_idx, engine_idx))
                 elif next_arrival < n:
                     heapq.heappush(
                         idle,
                         (requests[next_arrival].arrival, engine_idx, engine_idx),
                     )
+                else:
+                    # Servable requests are waiting but this engine has
+                    # nothing to do *now*; another engine's finish can
+                    # change the picture, so re-arm at that event rather
+                    # than silently dropping the engine (and with it the
+                    # waiting requests).
+                    wake = self._next_event_after(idle, now)
+                    if wake is not None:
+                        heapq.heappush(
+                            idle,
+                            (wake, len(self.engines) + engine_idx, engine_idx),
+                        )
                 continue
 
-            batch_result = engine.serve(selected)
-            latency = max(batch_result.latency, _MIN_SLOT)
-            finish = now + latency
+            outcome = serve_slot(engine, selected, now)
+            metrics.failed_batches += outcome.failures
+            metrics.retries += outcome.split_retries
+            metrics.total_engine_time += outcome.wasted
+
+            if outcome.down_until is not None:
+                # Engine failover: the crashed engine leaves the heap for
+                # its downtime and rejoins at recovery; its requests are
+                # triaged at `now` because survivors can pick them up
+                # immediately.
+                metrics.downtime += outcome.downtime
+                retained, lost = requeue_failed(
+                    queue, self.retry, engine.cost_model, outcome.failed, now
+                )
+                metrics.retries += len(retained)
+                self._release(lost)
+                heapq.heappush(
+                    idle, (outcome.down_until, engine_idx, engine_idx)
+                )
+                continue
+            if outcome.result is None:
+                retained, lost = requeue_failed(
+                    queue, self.retry, engine.cost_model, outcome.failed, now
+                )
+                metrics.retries += len(retained)
+                self._release(lost)
+                heapq.heappush(
+                    idle, (now + outcome.wasted, engine_idx, engine_idx)
+                )
+                continue
+
+            batch_result = outcome.result
+            latency = max(batch_result.latency, MIN_SLOT)
+            finish = now + outcome.wasted + latency
             queue.remove_served(batch_result.served)
+            self._release(batch_result.served)
             for r in batch_result.served:
                 metrics.finish_times[r.request_id] = (r.arrival, finish)
             metrics.served.extend(batch_result.served)
@@ -130,4 +209,8 @@ class ClusterSimulator:
         queue.expire(float("inf"))
         metrics.expired.extend(queue.expired)
         metrics.expired.extend(requests[next_arrival:])
+        metrics.abandoned.extend(queue.abandoned)
+        if self.admission is not None:
+            metrics.rejected.extend(self.admission.rejected[rejected_before:])
+        metrics.assert_conservation()
         return result

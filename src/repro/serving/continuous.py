@@ -20,6 +20,15 @@ Simplifications (documented, deliberate):
   the cost model has no content to condition on,
 - admission order is a pluggable key (FCFS or utility), mirroring the
   slot-level schedulers.
+
+Fault tolerance (``docs/faults.md``): an optional
+:class:`~repro.faults.plan.FaultPlan` injects per-iteration faults — a
+failed iteration consumes its step time without decode progress, a
+straggler multiplies the step, a transient OOM evicts the newest half
+of the resident batch back to the wait queue, and a crash takes the
+engine down for its downtime and evicts everything resident.  Evicted
+requests go through the same bounded deadline-aware requeue policy as
+the batch-level loops.
 """
 
 from __future__ import annotations
@@ -31,13 +40,18 @@ import numpy as np
 
 from repro.config import BatchConfig
 from repro.engine.cost_model import GPUCostModel
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.recovery import RetryPolicy, requeue_failed
 from repro.rng import ensure_rng
 from repro.scheduling.queue import RequestQueue
+from repro.serving.common import resolve_workload
 from repro.serving.metrics import ServingMetrics
 from repro.types import Request
 from repro.workload.generator import WorkloadGenerator
 
 __all__ = ["ContinuousBatchingSimulator"]
+
+_HEALTHY = FaultEvent()
 
 
 @dataclass
@@ -58,6 +72,8 @@ class ContinuousBatchingSimulator:
         admission: str = "fcfs",
         seed: int = 0,
         rng: Optional[np.random.Generator] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if mean_output_tokens < 1:
             raise ValueError("mean_output_tokens must be >= 1")
@@ -72,6 +88,13 @@ class ContinuousBatchingSimulator:
         # None, each run() derives a fresh stream from the seed so
         # repeated runs stay deterministic and bit-identical.
         self.rng = rng
+        self.fault_plan = fault_plan
+        self.retry = retry or RetryPolicy()
+
+    def _event(self, iteration: int) -> FaultEvent:
+        if self.fault_plan is None or self.fault_plan.config.is_zero:
+            return _HEALTHY
+        return self.fault_plan.event(iteration)
 
     # ------------------------------------------------------------------ #
 
@@ -86,16 +109,10 @@ class ContinuousBatchingSimulator:
         *,
         horizon: Optional[float] = None,
     ) -> ServingMetrics:
-        if hasattr(workload, "generate"):  # any workload generator (duck-typed)
-            requests = workload.generate()
-            horizon = workload.horizon if horizon is None else horizon
-        else:
-            requests = sorted(workload, key=lambda r: (r.arrival, r.request_id))
-            if horizon is None:
-                horizon = max((r.arrival for r in requests), default=0.0) + 1.0
+        requests, horizon = resolve_workload(workload, horizon)
 
         rng = ensure_rng(self.rng, default_seed=self.seed)
-        metrics = ServingMetrics(horizon=horizon)
+        metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
         queue = RequestQueue()
         running: list[_Running] = []
         budget = self.batch.capacity_tokens
@@ -103,6 +120,7 @@ class ContinuousBatchingSimulator:
 
         now = 0.0
         next_arrival = 0
+        iteration = 0
         n = len(requests)
 
         while now < horizon:
@@ -140,6 +158,41 @@ class ContinuousBatchingSimulator:
                 now = max(now, requests[next_arrival].arrival)
                 continue
 
+            event = self._event(iteration)
+            iteration += 1
+            if event.kind is FaultKind.CRASH:
+                # The engine loses its resident batch and sits out the
+                # downtime; evicted requests re-enter through the
+                # bounded deadline-aware requeue (they must re-prefill).
+                metrics.failed_batches += 1
+                metrics.downtime += event.downtime
+                now += event.downtime
+                residents = [r.request for r in running]
+                running = []
+                retained, _ = requeue_failed(
+                    queue, self.retry, self.cost_model, residents, now
+                )
+                queue.requeue(retained)
+                metrics.retries += len(retained)
+                continue
+            if event.kind is FaultKind.OOM:
+                # Transient alloc failure: evict the newest half of the
+                # resident batch (split-batch retry, iteration flavour);
+                # only the launch overhead is wasted.
+                metrics.failed_batches += 1
+                wasted = self.cost_model.fixed_per_batch
+                now += wasted
+                metrics.total_engine_time += wasted
+                keep = len(running) // 2
+                victims = [r.request for r in running[keep:]]
+                running = running[:keep]
+                retained, _ = requeue_failed(
+                    queue, self.retry, self.cost_model, victims, now
+                )
+                queue.requeue(retained)
+                metrics.retries += len(retained)
+                continue
+
             # One fused iteration (Orca's selective batching): a decode
             # step for every running request, with newly admitted prompts
             # prefilled *inside* the same iteration at marginal cost —
@@ -150,8 +203,15 @@ class ContinuousBatchingSimulator:
                 + self.cost_model.per_token * prefill_tokens
                 + prefill_entries / self.cost_model.attn_rate
             )
+            if event.kind is FaultKind.STRAGGLER:
+                step *= event.multiplier
             now += step
             metrics.total_engine_time += step
+            if event.kind is FaultKind.FAILURE:
+                # The iteration ran but its outputs were lost: no decode
+                # progress, the step time is wasted, residents stay put.
+                metrics.failed_batches += 1
+                continue
             metrics.num_batches += 1  # one iteration
 
             still: list[_Running] = []
@@ -173,4 +233,6 @@ class ContinuousBatchingSimulator:
         queue.expire(float("inf"))
         metrics.expired.extend(queue.expired)
         metrics.expired.extend(requests[next_arrival:])
+        metrics.abandoned.extend(queue.abandoned)
+        metrics.assert_conservation()
         return metrics

@@ -22,6 +22,10 @@ class ServingMetrics:
     horizon: float = 0.0
     served: list[Request] = field(default_factory=list)
     expired: list[Request] = field(default_factory=list)
+    # Shed at arrival by the admission controller (never queued).
+    rejected: list[Request] = field(default_factory=list)
+    # Given up by the fault-recovery retry policy (requeue infeasible).
+    abandoned: list[Request] = field(default_factory=list)
     # request_id -> (arrival, finish) for latency accounting.
     finish_times: dict[int, tuple[float, float]] = field(default_factory=dict)
     total_engine_time: float = 0.0
@@ -29,6 +33,15 @@ class ServingMetrics:
     num_batches: int = 0
     useful_tokens: int = 0
     padded_tokens: int = 0
+    # ---- fault-tolerance accounting ---------------------------------- #
+    # Total requests the workload offered (conservation denominator).
+    arrived: int = 0
+    # Requests requeued after a failed batch / crash / OOM split.
+    retries: int = 0
+    # Batches that consumed engine time but produced no responses.
+    failed_batches: int = 0
+    # Total simulated seconds engines spent in crash recovery.
+    downtime: float = 0.0
 
     # ------------------------------------------------------------------ #
 
@@ -46,6 +59,14 @@ class ServingMetrics:
         return len(self.expired)
 
     @property
+    def num_rejected(self) -> int:
+        return len(self.rejected)
+
+    @property
+    def num_abandoned(self) -> int:
+        return len(self.abandoned)
+
+    @property
     def throughput(self) -> float:
         """Responses per second over the simulated horizon."""
         span = max(self.horizon, 1e-12)
@@ -53,12 +74,33 @@ class ServingMetrics:
 
     @property
     def offered_load(self) -> int:
-        return self.num_served + self.num_expired
+        return self.num_served + self.num_expired + self.num_abandoned
 
     @property
     def miss_rate(self) -> float:
         total = self.offered_load
-        return 0.0 if total == 0 else self.num_expired / total
+        misses = self.num_expired + self.num_abandoned
+        return 0.0 if total == 0 else misses / total
+
+    @property
+    def conservation_ok(self) -> bool:
+        """Every arrived request ends in exactly one terminal bucket."""
+        accounted = (
+            self.num_served
+            + self.num_expired
+            + self.num_rejected
+            + self.num_abandoned
+        )
+        return accounted == self.arrived
+
+    def assert_conservation(self) -> None:
+        """Raise if ``served + expired + rejected + abandoned != arrived``."""
+        if not self.conservation_ok:
+            raise AssertionError(
+                f"request conservation violated: served={self.num_served} "
+                f"+ expired={self.num_expired} + rejected={self.num_rejected} "
+                f"+ abandoned={self.num_abandoned} != arrived={self.arrived}"
+            )
 
     @property
     def mean_latency(self) -> float:
@@ -95,6 +137,11 @@ class ServingMetrics:
             "utility": self.total_utility,
             "served": float(self.num_served),
             "expired": float(self.num_expired),
+            "rejected": float(self.num_rejected),
+            "abandoned": float(self.num_abandoned),
+            "retries": float(self.retries),
+            "failed_batches": float(self.failed_batches),
+            "downtime": self.downtime,
             "throughput": self.throughput,
             "miss_rate": self.miss_rate,
             "mean_latency": self.mean_latency,

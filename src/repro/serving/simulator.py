@@ -8,25 +8,35 @@ empty, the clock fast-forwards to the next arrival.
 
 The same loop serves every (scheduler × engine) combination in the
 paper's evaluation; see the ``benchmarks/`` directory for the sweeps.
+
+Beyond the paper, the loop is fault-tolerant: engines wrapped in
+:class:`~repro.faults.engine.FaultyEngine` surface batch failures,
+transient OOM and crashes as typed outcomes, which the loop answers
+with split-batch retry, bounded deadline-aware requeue, and clock
+advancement through crash downtime (see ``docs/faults.md``).  An
+optional :class:`~repro.serving.admission.AdmissionController` sheds
+hopeless requests at arrival; its rejections are folded into the
+metrics so the conservation invariant
+``served + expired + rejected + abandoned == arrived`` holds on every
+run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.engine.base import BatchResult, InferenceEngine
-from repro.engine.slotted import SlottedConcatEngine
+from repro.faults.recovery import RetryPolicy, requeue_failed, serve_slot
 from repro.scheduling.base import Scheduler, SchedulingDecision
 from repro.scheduling.queue import RequestQueue
+from repro.serving.admission import AdmissionController
+from repro.serving.common import MIN_SLOT, apply_slot_size, resolve_workload
 from repro.serving.metrics import ServingMetrics
 from repro.types import Request
 from repro.workload.generator import WorkloadGenerator
 
 __all__ = ["ServingSimulator", "SimulationResult"]
-
-# Engine time floor: a zero-latency engine would spin the loop forever.
-_MIN_SLOT = 1e-6
 
 
 @dataclass
@@ -47,10 +57,19 @@ class ServingSimulator:
         engine: InferenceEngine,
         *,
         record_slots: bool = False,
+        admission: Optional[AdmissionController] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.scheduler = scheduler
         self.engine = engine
         self.record_slots = record_slots
+        self.admission = admission
+        self.retry = retry or RetryPolicy()
+
+    def _release(self, requests: Iterable[Request]) -> None:
+        """Tell the admission controller requests left the queue."""
+        if self.admission is not None:
+            self.admission.release(list(requests))
 
     def run(
         self,
@@ -59,17 +78,16 @@ class ServingSimulator:
         horizon: Optional[float] = None,
     ) -> SimulationResult:
         """Simulate serving the workload; returns metrics (+slot log)."""
-        if hasattr(workload, "generate"):  # any workload generator (duck-typed)
-            requests = workload.generate()
-            horizon = workload.horizon if horizon is None else horizon
-        else:
-            requests = sorted(workload, key=lambda r: (r.arrival, r.request_id))
-            if horizon is None:
-                horizon = max((r.arrival for r in requests), default=0.0) + 1.0
+        requests, horizon = resolve_workload(workload, horizon)
 
-        metrics = ServingMetrics(horizon=horizon)
+        metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
         result = SimulationResult(metrics=metrics)
         queue = RequestQueue()
+        # A controller may be shared across runs; only this run's
+        # rejections belong in this run's metrics.
+        rejected_before = (
+            len(self.admission.rejected) if self.admission is not None else 0
+        )
 
         now = 0.0
         next_arrival = 0
@@ -78,9 +96,11 @@ class ServingSimulator:
         while now < horizon:
             # Admit arrivals up to the current time.
             while next_arrival < n and requests[next_arrival].arrival <= now:
-                queue.add(requests[next_arrival])
+                r = requests[next_arrival]
+                if self.admission is None or self.admission.admit(r, r.arrival):
+                    queue.add(r)
                 next_arrival += 1
-            queue.expire(now)
+            self._release(queue.expire(now))
 
             waiting = queue.waiting(now)
             if not waiting:
@@ -92,11 +112,7 @@ class ServingSimulator:
             decision = self.scheduler.select(waiting, now)
             decision.validate(self.scheduler.batch)
             metrics.total_scheduler_time += decision.runtime
-
-            if decision.slot_size is not None and isinstance(
-                self.engine, SlottedConcatEngine
-            ):
-                self.engine.set_slot_size(decision.slot_size)
+            apply_slot_size(self.engine, decision)
 
             selected = decision.selected()
             if not selected:
@@ -109,17 +125,55 @@ class ServingSimulator:
                 ]
                 if unservable:
                     queue.drop(unservable)
+                    self._release(unservable)
                     continue
                 if next_arrival >= n:
                     break
                 now = requests[next_arrival].arrival
                 continue
 
-            batch_result = self.engine.serve(selected)
-            latency = max(batch_result.latency, _MIN_SLOT)
+            outcome = serve_slot(self.engine, selected, now)
+            metrics.failed_batches += outcome.failures
+            metrics.retries += outcome.split_retries
+            metrics.total_engine_time += outcome.wasted
+            now += outcome.wasted
+
+            if outcome.down_until is not None:
+                # Engine crashed: with a single engine nothing can be
+                # served before it recovers, so requeue feasibility is
+                # judged at the rejoin time.
+                metrics.downtime += outcome.downtime
+                retained, lost = requeue_failed(
+                    queue,
+                    self.retry,
+                    self.engine.cost_model,
+                    outcome.failed,
+                    outcome.down_until,
+                )
+                metrics.retries += len(retained)
+                self._release(lost)
+                now = max(now, outcome.down_until)
+                continue
+            if outcome.result is None:
+                # Terminal batch failure: the wasted time has already
+                # advanced the clock; triage the casualties.
+                retained, lost = requeue_failed(
+                    queue,
+                    self.retry,
+                    self.engine.cost_model,
+                    outcome.failed,
+                    now,
+                )
+                metrics.retries += len(retained)
+                self._release(lost)
+                continue
+
+            batch_result = outcome.result
+            latency = max(batch_result.latency, MIN_SLOT)
             finish = now + latency
 
             queue.remove_served(batch_result.served)
+            self._release(batch_result.served)
             for r in batch_result.served:
                 metrics.finish_times[r.request_id] = (r.arrival, finish)
             metrics.served.extend(batch_result.served)
@@ -138,4 +192,8 @@ class ServingSimulator:
         queue.expire(float("inf"))
         metrics.expired.extend(queue.expired)
         metrics.expired.extend(requests[next_arrival:])
+        metrics.abandoned.extend(queue.abandoned)
+        if self.admission is not None:
+            metrics.rejected.extend(self.admission.rejected[rejected_before:])
+        metrics.assert_conservation()
         return result

@@ -8,7 +8,8 @@ pointwise; this package enforces them *structurally*, at commit time:
 - the discrete-event simulator never reads wall-clock time (TCB003),
 - hot paths keep the canonical float64 convention (TCB004),
 - no mutable default arguments (TCB005),
-- no stray quadratic ``(…, L, L)`` score-matrix allocations (TCB006).
+- no stray quadratic ``(…, L, L)`` score-matrix allocations (TCB006),
+- serving/engine code never swallows exceptions silently (TCB007).
 
 Run it as ``python -m repro lint`` (or ``make lint``); the tier-1 test
 ``tests/test_statics_clean.py`` asserts the tree is clean, making every

@@ -1,4 +1,4 @@
-"""The six tcblint rules (TCB001–TCB006).
+"""The seven tcblint rules (TCB001–TCB007).
 
 Each rule protects one cross-cutting invariant of the reproduction;
 ``docs/statics.md`` ties every rule to the paper equation or
@@ -330,6 +330,58 @@ class QuadraticAllocation(Rule):
                 )
 
 
+class SwallowedExceptions(Rule):
+    """TCB007 — serving/engine code never swallows failures silently."""
+
+    rule_id = "TCB007"
+    title = "bare or silently swallowed exception"
+    severity = Severity.ERROR
+
+    # Fault tolerance (docs/faults.md) rests on failures surfacing as
+    # typed outcomes; a swallowed exception in these trees silently
+    # converts a fault into a success and breaks the conservation
+    # invariant.
+    _SCOPE = ("repro/serving/", "repro/engine/", "repro/faults/")
+
+    @staticmethod
+    def _is_silent(handler: ast.ExceptHandler) -> bool:
+        """True when the handler body does nothing but pass/docstring."""
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+            )
+            for stmt in handler.body
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.path.startswith(self._SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` catches everything (including "
+                    "KeyboardInterrupt) and hides faults the serving loops "
+                    "must see; catch the specific exception (BatchFailure, "
+                    "EngineDown, ...) instead",
+                )
+            elif self._is_silent(node):
+                caught = ast.unparse(node.type)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`except {caught}: pass` silently swallows the failure; "
+                    "serving/engine code must surface faults as typed "
+                    "outcomes (re-raise, requeue, or record them) so the "
+                    "conservation invariant can hold",
+                )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     MaskDiscipline(),
     GlobalRngBan(),
@@ -337,6 +389,7 @@ ALL_RULES: tuple[Rule, ...] = (
     DtypeDiscipline(),
     MutableDefaults(),
     QuadraticAllocation(),
+    SwallowedExceptions(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {r.rule_id: r for r in ALL_RULES}

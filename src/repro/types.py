@@ -84,6 +84,16 @@ class Request:
         """Whether the request may be scheduled at time ``t`` (Eq. 12)."""
         return self.arrival <= t <= self.deadline
 
+    def slack(self, now: float) -> float:
+        """Time left until the deadline at ``now`` (negative once past).
+
+        Retry/requeue policies compare this against the quickest
+        possible service time: a failed request keeps its deadline but
+        has burnt slack, which is what couples fault recovery to
+        deadline-aware scheduling.
+        """
+        return self.deadline - now
+
     def with_tokens(self, tokens: Sequence[int]) -> "Request":
         """Return a copy carrying concrete token ids."""
         return Request(

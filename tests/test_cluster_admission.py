@@ -5,6 +5,7 @@ import pytest
 from repro.config import BatchConfig
 from repro.engine.concat import ConcatEngine
 from repro.engine.cost_model import GPUCostModel
+from repro.scheduling.base import Scheduler, SchedulingDecision
 from repro.scheduling.baselines import FCFSScheduler
 from repro.serving.admission import AdmissionController
 from repro.serving.cluster import ClusterSimulator
@@ -74,6 +75,66 @@ class TestClusterSimulator:
             ClusterSimulator(FCFSScheduler(_batch()), [])
 
 
+class _FlakySelect(Scheduler):
+    """Wrap a scheduler, returning an empty decision on scripted calls."""
+
+    def __init__(self, inner: Scheduler, empty_on: set[int]):
+        super().__init__(inner.batch)
+        self.inner = inner
+        self.empty_on = empty_on
+        self.calls = 0
+
+    def select(self, waiting, now=0.0):
+        call = self.calls
+        self.calls += 1
+        if call in self.empty_on:
+            return SchedulingDecision()
+        return self.inner.select(waiting, now)
+
+
+class TestClusterEngineRearming:
+    """An engine that selects nothing must not leave the cluster forever."""
+
+    def _scenario(self):
+        batch = BatchConfig(num_rows=1, row_length=20)
+        # Measured slot latencies for the deadline arithmetic below.
+        f_a = ConcatEngine(batch).serve(
+            make_requests([20], deadlines=[100.0])
+        ).latency
+        f_b = ConcatEngine(batch).serve(
+            make_requests([12], deadlines=[100.0])
+        ).latency
+        # B and C can start at f_a but not at f_a + f_b: a cluster that
+        # lost an engine can only serve one of them in time.
+        ddl = f_a + 0.5 * f_b
+        reqs = [
+            Request(request_id=0, length=20, deadline=100.0),
+            Request(request_id=1, length=12, deadline=ddl),
+            Request(request_id=2, length=12, deadline=ddl),
+        ]
+        return batch, reqs
+
+    def _run(self, empty_on):
+        batch, reqs = self._scenario()
+        sched = _FlakySelect(FCFSScheduler(batch), empty_on=empty_on)
+        sim = ClusterSimulator(sched, [ConcatEngine(batch), ConcatEngine(batch)])
+        return sim.run(reqs, horizon=100.0).metrics
+
+    def test_engine_rearms_after_empty_selection(self):
+        # Call 0: engine 0 takes A (fills the single row).  Call 1:
+        # engine 1 gets an empty decision with no unservable requests
+        # and no arrivals left — the case that used to drop it from the
+        # idle heap for good.  It must re-arm at engine 0's finish and
+        # pick up C there.
+        m = self._run(empty_on={1})
+        assert m.num_served == 3
+        assert m.conservation_ok
+
+    def test_baseline_without_flake_serves_all(self):
+        m = self._run(empty_on=set())
+        assert m.num_served == 3
+
+
 class TestAdmissionController:
     def _ctrl(self, **kw):
         return AdmissionController(batch=_batch(), **kw)
@@ -133,3 +194,66 @@ class TestAdmissionController:
         )
         admitted = [r for r in reqs if ctrl.admit(r, now=0.0)]
         assert [r.request_id for r in admitted] == [0]
+
+
+class TestAdmissionWiring:
+    """Admission controllers plugged into the serving loops."""
+
+    def _reqs(self):
+        # One oversized (rejected at arrival), two feasible.
+        return [
+            Request(request_id=0, length=50, deadline=100.0),
+            Request(request_id=1, length=10, deadline=100.0),
+            Request(request_id=2, length=10, deadline=100.0),
+        ]
+
+    def test_simulator_folds_rejections_into_metrics(self):
+        sim = ServingSimulator(
+            FCFSScheduler(_batch()),
+            ConcatEngine(_batch()),
+            admission=AdmissionController(batch=_batch()),
+        )
+        m = sim.run(self._reqs(), horizon=10.0).metrics
+        assert m.num_rejected == 1
+        assert m.rejected[0].request_id == 0
+        assert m.num_served == 2
+        assert m.conservation_ok
+
+    def test_cluster_folds_rejections_into_metrics(self):
+        sim = ClusterSimulator(
+            FCFSScheduler(_batch()),
+            [ConcatEngine(_batch()) for _ in range(2)],
+            admission=AdmissionController(batch=_batch()),
+        )
+        m = sim.run(self._reqs(), horizon=10.0).metrics
+        assert m.num_rejected == 1
+        assert m.num_served == 2
+        assert m.conservation_ok
+
+    def test_shared_controller_does_not_leak_across_runs(self):
+        ctrl = AdmissionController(batch=_batch())
+        sim = ServingSimulator(
+            FCFSScheduler(_batch()), ConcatEngine(_batch()), admission=ctrl
+        )
+        m1 = sim.run(self._reqs(), horizon=10.0).metrics
+        m2 = sim.run(
+            [
+                Request(request_id=10, length=50, deadline=100.0),
+                Request(request_id=11, length=5, deadline=100.0),
+            ],
+            horizon=10.0,
+        ).metrics
+        assert m1.num_rejected == 1
+        # Second run sees only its own rejection, not the first run's.
+        assert m2.num_rejected == 1
+        assert m2.rejected[0].request_id == 10
+        assert m2.conservation_ok
+
+    def test_admission_sheds_load_under_pressure(self):
+        wl = _workload(rate=600.0, horizon=3.0)
+        ctrl = AdmissionController(batch=_batch(), max_queued_tokens=200)
+        m = ServingSimulator(
+            FCFSScheduler(_batch()), ConcatEngine(_batch()), admission=ctrl
+        ).run(wl).metrics
+        assert m.num_rejected > 0
+        assert m.conservation_ok

@@ -37,6 +37,9 @@ class TestPackageSurface:
             "TCBServer",
             "WorkloadGenerator",
             "CorpusWorkload",
+            "FaultPlan",
+            "FaultyEngine",
+            "RetryPolicy",
         ],
     )
     def test_lazy_exports_resolve(self, name):

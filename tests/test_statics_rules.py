@@ -102,6 +102,33 @@ class TestRuleTCB006:
         assert _lines(found, "TCB006") == []
 
 
+class TestRuleTCB007:
+    def test_fires_on_bare_and_silent_handlers(self):
+        found = _lint_fixture("bad_tcb007.py", "repro/serving/somewhere.py")
+        assert _lines(found, "TCB007") == [11, 18, 25]
+        assert all(f.severity is Severity.ERROR for f in found)
+
+    def test_scoped_to_serving_engine_faults(self):
+        for path in (
+            "repro/engine/somewhere.py",
+            "repro/faults/somewhere.py",
+        ):
+            found = _lint_fixture("bad_tcb007.py", path)
+            assert _lines(found, "TCB007") == [11, 18, 25]
+        found = _lint_fixture("bad_tcb007.py", "repro/analysis/somewhere.py")
+        assert _lines(found, "TCB007") == []
+
+    def test_handling_and_reraising_is_clean(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        return None\n"
+        )
+        assert lint_source(src, "repro/serving/ok.py") == []
+
+
 class TestSuppressions:
     def test_inline_disable_silences_the_named_rule(self):
         report = LintReport()
