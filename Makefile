@@ -1,6 +1,6 @@
 # Convenience targets for the TCB reproduction.
 
-.PHONY: install test bench examples figures lint report clean
+.PHONY: install test bench examples figures lint report trace-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -26,6 +26,12 @@ lint:
 	else echo "ruff not installed — skipped (pip install -e .[dev])"; fi
 	@if command -v mypy >/dev/null 2>&1; then mypy; \
 	else echo "mypy not installed — skipped (pip install -e .[dev])"; fi
+
+# Trace one small fig13 config end-to-end and validate the exported
+# Chrome trace_event JSON (schema + metrics reconciliation).
+trace-smoke:
+	PYTHONPATH=src python -m repro trace fig13 --fast --format chrome --out trace_fig13.json
+	PYTHONPATH=src python -c "import json; from repro.obs.export import validate_chrome_trace; validate_chrome_trace(json.load(open('trace_fig13.json'))); print('trace_fig13.json: valid chrome trace')"
 
 report: lint test bench
 	python -m repro lint --format json --out lint_report.json

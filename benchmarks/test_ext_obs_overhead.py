@@ -1,0 +1,68 @@
+"""Extension bench: tracing layer overhead when disabled.
+
+The repro.obs recorder is wired into every serving loop behind an
+``if tr.enabled:`` guard, with ``trace=None`` falling back to the
+module-level no-op recorder.  The contract is that an *untraced* run
+pays at most one attribute lookup per emission site — measured here as
+a ≤ 2% wall-time overhead of the guarded loop (``Tracer(enabled=False)``,
+every guard evaluated and skipped) against the ``trace=None`` baseline
+(the no-op recorder path, identical guards), min-of-repeats to shed
+scheduler noise.  Full tracing cost is reported alongside for scale but
+not bounded — tracing is opt-in.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import BatchConfig
+from repro.engine.concat import ConcatEngine
+from repro.experiments.serving_sweeps import make_workload
+from repro.obs.recorder import Tracer
+from repro.scheduling.das import DASScheduler
+from repro.serving.simulator import ServingSimulator
+
+BATCH = BatchConfig(num_rows=16, row_length=100)
+REPEATS = 7
+MAX_DISABLED_OVERHEAD = 1.02  # ≤ 2%
+
+
+def _run_once(trace) -> float:
+    wl = make_workload(150.0, horizon=6.0, seed=0)
+    sim = ServingSimulator(
+        DASScheduler(BATCH), ConcatEngine(BATCH), trace=trace
+    )
+    t0 = time.perf_counter()
+    sim.run(wl)
+    return time.perf_counter() - t0
+
+
+def _best(trace_factory) -> float:
+    # Min-of-repeats: the best observation is the least noise-polluted
+    # estimate of the loop's intrinsic cost.
+    return min(_run_once(trace_factory()) for _ in range(REPEATS))
+
+
+def test_ext_obs_overhead(benchmark, save_table):
+    def measure():
+        baseline = _best(lambda: None)
+        disabled = _best(lambda: Tracer(enabled=False))
+        enabled = _best(lambda: Tracer())
+        return {
+            "config": ["baseline", "disabled", "enabled"],
+            "wall_s": [baseline, disabled, enabled],
+            "ratio": [1.0, disabled / baseline, enabled / baseline],
+        }
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = out["ratio"][1]
+    assert ratio <= MAX_DISABLED_OVERHEAD, (
+        f"disabled tracing costs {100 * (ratio - 1):.2f}% "
+        f"(budget {100 * (MAX_DISABLED_OVERHEAD - 1):.0f}%)"
+    )
+    from repro.experiments.tables import format_series_table
+
+    save_table(
+        "ext_obs_overhead",
+        format_series_table(out, "Extension — tracing overhead (disabled ≤ 2%)"),
+    )

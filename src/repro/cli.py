@@ -8,6 +8,7 @@ Usage::
     python -m repro demo
     python -m repro info
     python -m repro lint [--format text|json] [--rules TCB001,...]
+    python -m repro trace fig13 [--fast] [--format chrome|csv|ascii] [--out F]
 
 ``--fast`` shrinks horizons/seeds so every figure runs in seconds —
 useful for smoke runs; the published numbers come from the defaults.
@@ -138,12 +139,17 @@ def _emit(series: dict, fmt: str, title: str, out: Optional[str]) -> None:
 
 
 def _cmd_list(_args) -> int:
+    from repro.experiments.traced import _TRACED
+
     print("figures:")
     for name, (desc, _) in _figures().items():
         print(f"  {name:8s} {desc}")
     print("ablations:")
     for name, (desc, _) in _ablations().items():
         print(f"  {name:8s} {desc}")
+    print("traces:")
+    for name, (desc, _) in _TRACED.items():
+        print(f"  {name:10s} {desc}")
     return 0
 
 
@@ -204,6 +210,39 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.experiments.traced import available_traces, run_traced
+    from repro.obs.export import (
+        ascii_timeline,
+        chrome_trace_json,
+        spans_to_csv,
+    )
+
+    if args.name not in available_traces():
+        print(
+            f"unknown traced experiment {args.name!r}; "
+            "try `python -m repro list`",
+            file=sys.stderr,
+        )
+        return 2
+    run = run_traced(args.name, fast=args.fast)
+    if args.format == "chrome":
+        text = chrome_trace_json(run.tracer)
+    elif args.format == "csv":
+        text = spans_to_csv(run.tracer)
+    else:
+        text = ascii_timeline(run.tracer)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        counts = run.tracer.outcome_counts()
+        summary = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"wrote {args.out} ({run.tracer.num_requests} requests; {summary})")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_info(_args) -> int:
     import repro
     from repro.config import ModelConfig
@@ -244,6 +283,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_ab.add_argument("--format", choices=("table", "csv", "json"), default="table")
     p_ab.add_argument("--out", help="write to file instead of stdout")
     p_ab.set_defaults(func=_cmd_ablation)
+
+    p_tr = sub.add_parser(
+        "trace", help="run a traced experiment and export its spans"
+    )
+    p_tr.add_argument("name", help="traced experiment id, e.g. fig13")
+    p_tr.add_argument("--fast", action="store_true", help="short horizon")
+    p_tr.add_argument(
+        "--format",
+        choices=("chrome", "csv", "ascii"),
+        default="chrome",
+        help="chrome = trace_event JSON for chrome://tracing / Perfetto",
+    )
+    p_tr.add_argument("--out", help="write to file instead of stdout")
+    p_tr.set_defaults(func=_cmd_trace)
 
     sub.add_parser("demo", help="run the online server demo").set_defaults(
         func=_cmd_demo

@@ -28,6 +28,7 @@ import numpy as np
 from repro.config import BatchConfig, ModelConfig
 from repro.core.layout import BatchLayout
 from repro.engine.cost_model import GPUCostModel
+from repro.engine.memory import GPUMemorySimulator
 from repro.rng import ensure_rng
 from repro.types import Request, RequestBatchStats
 
@@ -83,6 +84,7 @@ class InferenceEngine(abc.ABC):
         self._model = None
         self._model_config = model_config
         self._model_seed = model_seed
+        self._memory_sim: Optional[GPUMemorySimulator] = None
 
     # ------------------------------------------------------------------ #
     # Scheme-specific planning
@@ -150,6 +152,29 @@ class InferenceEngine(abc.ABC):
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
+
+    def trace_annotations(self, result: BatchResult) -> dict[str, float]:
+        """Per-batch compute-cost and memory-watermark annotations.
+
+        Called by traced serving loops (``repro.obs``) after a
+        successful slot: sums the cost model's component breakdown and
+        the activation-memory watermark over the executed layouts.
+        Priced in the engine so every scheme (naive, turbo, concat,
+        slotted) annotates with its *own* layout structure.
+        """
+        if self._memory_sim is None:
+            cfg = self._model_config or ModelConfig.paper()
+            self._memory_sim = GPUMemorySimulator(
+                cfg.d_model, max(1, cfg.num_encoder_layers + cfg.num_decoder_layers)
+            )
+        annotations: dict[str, float] = {}
+        watermark = 0
+        for layout in result.layouts:
+            for key, value in self.cost_model.layout_breakdown(layout).items():
+                annotations[key] = annotations.get(key, 0.0) + value
+            watermark += self._memory_sim.watermark_bytes(layout)
+        annotations["memory_watermark_bytes"] = float(watermark)
+        return annotations
 
     def materialize_tokens(
         self,

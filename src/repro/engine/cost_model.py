@@ -143,10 +143,9 @@ class GPUCostModel:
         """Prompt-processing (encode) time for newly admitted requests."""
         return self.encode_time(computed_tokens, score_entries, 1)
 
-    def layout_time(
-        self, layout: BatchLayout, *, include_decode: bool = True
-    ) -> float:
-        """Latency of executing one :class:`BatchLayout`.
+    @staticmethod
+    def layout_work(layout: BatchLayout) -> tuple[int, int, int]:
+        """``(computed_tokens, score_entries, num_slots)`` of a layout.
 
         The computed width is the layout's effective width (e.g. naive
         batches are padded to the longest request, not to the row
@@ -163,9 +162,40 @@ class GPUCostModel:
                     entries += z * z
                     num_slots += 1
         num_slots = max(1, num_slots // max(1, layout.num_rows))
+        return tokens, entries, num_slots
+
+    def layout_time(
+        self, layout: BatchLayout, *, include_decode: bool = True
+    ) -> float:
+        """Latency of executing one :class:`BatchLayout`."""
+        tokens, entries, num_slots = self.layout_work(layout)
         return self.batch_time(
             tokens, entries, num_slots, include_decode=include_decode
         )
+
+    def layout_breakdown(
+        self, layout: BatchLayout, *, include_decode: bool = True
+    ) -> dict[str, float]:
+        """Per-component latency of a layout (tracing annotation).
+
+        Splits :meth:`layout_time` into the model's terms — fixed
+        launch, token-linear, attention, decode — so a trace can show
+        *where* a batch's time went, not just how long it took.
+        """
+        tokens, entries, num_slots = self.layout_work(layout)
+        fixed = self.fixed_per_batch
+        lin = self.linear_time(tokens)
+        attn = self.attention_time(entries, num_slots)
+        encode = fixed + lin + attn
+        decode = encode * self.decode_factor if include_decode else 0.0
+        return {
+            "cost_fixed": fixed,
+            "cost_linear": lin,
+            "cost_attention": attn,
+            "cost_decode": decode,
+            "cost_total": encode + decode,
+            "score_entries": float(entries),
+        }
 
     # ------------------------------------------------------------------ #
     # Calibration

@@ -71,6 +71,25 @@ class GPUMemorySimulator:
     def slot_bytes(self, slot_tokens: int) -> int:
         return slot_tokens * self.bytes_per_token
 
+    def watermark_bytes(self, layout: BatchLayout) -> int:
+        """Peak resident bytes while ``layout`` executes (no cleaning).
+
+        Everything is resident at once at the start of the decode pass,
+        so the watermark is independent of completion order — the
+        per-batch memory annotation the tracing layer records.
+        """
+        total = 0
+        for row in layout.rows:
+            if layout.scheme == "slotted" and row.slots:
+                total += sum(
+                    self.slot_bytes(slot.size)
+                    for slot in row.slots
+                    if slot.segments
+                )
+            elif row.segments:
+                total += self.slot_bytes(layout.effective_width)
+        return total
+
     def simulate(
         self,
         layout: BatchLayout,

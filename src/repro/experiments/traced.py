@@ -1,0 +1,136 @@
+"""Traced serving runs: canonical configs for ``python -m repro trace``.
+
+Each entry wires a paper experiment (or an extension scenario) through a
+:class:`~repro.obs.recorder.Tracer` so its full request lifecycle can be
+exported as a Chrome trace, a span CSV, or an ASCII timeline.  The runs
+are deliberately small — tracing is a debugging/inspection tool, not a
+measurement harness — and every run ends with
+:meth:`~repro.obs.recorder.Tracer.reconcile` against its
+:class:`~repro.serving.metrics.ServingMetrics`, so an exported trace is
+guaranteed to agree with the conservation ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BatchConfig, SchedulerConfig
+from repro.engine.concat import ConcatEngine
+from repro.engine.slotted import SlottedConcatEngine
+from repro.faults.engine import FaultyEngine
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.obs.recorder import Tracer
+from repro.scheduling.das import DASScheduler
+from repro.scheduling.slotted_das import SlottedDASScheduler
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.continuous import ContinuousBatchingSimulator
+from repro.serving.metrics import ServingMetrics
+from repro.serving.simulator import ServingSimulator
+from repro.experiments.serving_sweeps import make_workload
+
+__all__ = ["TracedRun", "available_traces", "run_traced"]
+
+
+@dataclass
+class TracedRun:
+    """A finished traced serving run, ready for export."""
+
+    name: str
+    description: str
+    tracer: Tracer
+    metrics: ServingMetrics
+
+
+def _run_fig9(fast: bool) -> tuple[Tracer, ServingMetrics]:
+    """Fig. 9 serving point: DAS + ConcatBatching at a mid arrival rate."""
+    batch = BatchConfig(num_rows=64, row_length=100)
+    tracer = Tracer()
+    sim = ServingSimulator(
+        DASScheduler(batch, SchedulerConfig()),
+        ConcatEngine(batch),
+        trace=tracer,
+    )
+    horizon = 2.0 if fast else 10.0
+    result = sim.run(make_workload(200.0, horizon=horizon, seed=0))
+    return tracer, result.metrics
+
+
+def _run_fig13(fast: bool) -> tuple[Tracer, ServingMetrics]:
+    """Fig. 13 setting served online: Slotted DAS + slotted engine."""
+    batch = BatchConfig(num_rows=10, row_length=400)
+    tracer = Tracer()
+    sim = ServingSimulator(
+        SlottedDASScheduler(batch, SchedulerConfig()),
+        SlottedConcatEngine(batch),
+        trace=tracer,
+    )
+    horizon = 2.0 if fast else 8.0
+    result = sim.run(make_workload(150.0, horizon=horizon, seed=0))
+    return tracer, result.metrics
+
+
+def _run_cluster(fast: bool) -> tuple[Tracer, ServingMetrics]:
+    """Multi-engine extension: two engines sharing one DAS queue."""
+    batch = BatchConfig(num_rows=16, row_length=100)
+    tracer = Tracer()
+    sim = ClusterSimulator(
+        DASScheduler(batch, SchedulerConfig()),
+        [ConcatEngine(batch) for _ in range(2)],
+        trace=tracer,
+    )
+    horizon = 2.0 if fast else 8.0
+    result = sim.run(make_workload(250.0, horizon=horizon, seed=0))
+    return tracer, result.metrics
+
+
+def _run_continuous(fast: bool) -> tuple[Tracer, ServingMetrics]:
+    """Iteration-level (ORCA-style) comparison loop."""
+    batch = BatchConfig(num_rows=16, row_length=100)
+    tracer = Tracer()
+    sim = ContinuousBatchingSimulator(batch, seed=0, trace=tracer)
+    horizon = 2.0 if fast else 8.0
+    metrics = sim.run(make_workload(150.0, horizon=horizon, seed=0))
+    return tracer, metrics
+
+
+def _run_faults(fast: bool) -> tuple[Tracer, ServingMetrics]:
+    """Chaos run: DAS + ConcatBatching behind a fault-injecting engine."""
+    batch = BatchConfig(num_rows=16, row_length=100)
+    plan = FaultPlan(FaultConfig.chaos(0.15, downtime=0.3), seed=1000)
+    tracer = Tracer()
+    sim = ServingSimulator(
+        DASScheduler(batch, SchedulerConfig()),
+        FaultyEngine(ConcatEngine(batch), plan),
+        trace=tracer,
+    )
+    horizon = 2.0 if fast else 8.0
+    result = sim.run(make_workload(150.0, horizon=horizon, seed=0))
+    return tracer, result.metrics
+
+
+_TRACED = {
+    "fig9": ("DAS + ConcatBatching serving point (Fig. 9 setup)", _run_fig9),
+    "fig13": ("Slotted DAS + slotted engine, B=10 L=400 (Fig. 13 setup)", _run_fig13),
+    "cluster": ("two-engine cluster sharing a DAS queue", _run_cluster),
+    "continuous": ("iteration-level (ORCA-style) batching loop", _run_continuous),
+    "faults": ("DAS + ConcatBatching under 15% chaos faults", _run_faults),
+}
+
+
+def available_traces() -> list[str]:
+    return list(_TRACED)
+
+
+def run_traced(name: str, *, fast: bool = False) -> TracedRun:
+    """Run one traced config end-to-end (tracer already reconciled)."""
+    try:
+        description, runner = _TRACED[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traced experiment {name!r}; "
+            f"expected one of {available_traces()}"
+        )
+    tracer, metrics = runner(fast)
+    return TracedRun(
+        name=name, description=description, tracer=tracer, metrics=metrics
+    )

@@ -1,0 +1,57 @@
+"""Request-lifecycle observability (span tracing + exporters).
+
+A zero-dependency tracing layer that follows every request through the
+serving loops on the simulated clock::
+
+    arrive → enqueue → scheduled → packed(row, slot) → executed
+           → served | expired | rejected | abandoned
+
+plus per-batch events (padding efficiency, cost-model breakdown, memory
+watermark, fault/retry annotations) and per-decision scheduler events
+(DAS utility-dominant vs deadline-aware set sizes, η/q).
+
+Off by default: the loops fall back to :data:`~repro.obs.recorder.NO_TRACE`,
+so an untraced run pays one attribute lookup per emission site.  Traced
+runs reconcile exactly with :class:`~repro.serving.metrics.ServingMetrics`
+(every terminal span maps 1:1 onto the conservation ledger).
+
+Exporters: Chrome ``trace_event`` JSON (``chrome://tracing`` /
+Perfetto), flat CSV, ASCII timeline — see ``docs/observability.md`` and
+``python -m repro trace``.
+"""
+
+from repro.obs.export import (
+    ascii_timeline,
+    chrome_trace,
+    chrome_trace_json,
+    spans_from_chrome_trace,
+    spans_to_csv,
+    validate_chrome_trace,
+)
+from repro.obs.recorder import NO_TRACE, NullTracer, Tracer
+from repro.obs.spans import (
+    TERMINAL_KINDS,
+    BatchEvent,
+    EventKind,
+    RequestEvent,
+    SchedulerEvent,
+    Span,
+)
+
+__all__ = [
+    "NO_TRACE",
+    "NullTracer",
+    "Tracer",
+    "EventKind",
+    "TERMINAL_KINDS",
+    "RequestEvent",
+    "Span",
+    "BatchEvent",
+    "SchedulerEvent",
+    "chrome_trace",
+    "chrome_trace_json",
+    "validate_chrome_trace",
+    "spans_from_chrome_trace",
+    "spans_to_csv",
+    "ascii_timeline",
+]

@@ -1,0 +1,287 @@
+"""Span recorder: the write side of request-lifecycle tracing.
+
+Two recorders share one call surface:
+
+- :data:`NO_TRACE` — the no-op recorder the serving loops fall back to.
+  It advertises ``enabled = False``; every emission site in a loop is
+  guarded by that flag, so a run without tracing pays exactly one
+  attribute lookup per site and never builds event objects.
+- :class:`Tracer` — records typed :class:`~repro.obs.spans.RequestEvent`
+  streams per request plus batch/scheduler lanes, all on the simulated
+  clock (no wall-clock reads — ``repro/obs`` is inside tcblint TCB003's
+  scope).
+
+The recorder enforces the conservation ledger structurally: terminal
+events are **deduped on request id** (a requeued request that is later
+served and then swept by an end-of-run expiry pass cannot end twice),
+and :meth:`Tracer.reconcile` asserts that span-derived outcome counts
+equal the :class:`~repro.serving.metrics.ServingMetrics` ledger —
+``served + expired + rejected + abandoned == arrived`` — turning the
+serving loops' invariant into a cross-checkable audit trail.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Sequence
+
+from repro.obs.spans import (
+    TERMINAL_KINDS,
+    BatchEvent,
+    EventKind,
+    RequestEvent,
+    SchedulerEvent,
+    Span,
+)
+from repro.types import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serving.metrics import ServingMetrics
+
+__all__ = ["NO_TRACE", "NullTracer", "Tracer"]
+
+
+class NullTracer:
+    """Absorbs every emission; ``enabled`` is False so loops skip calls."""
+
+    enabled: bool = False
+
+    @staticmethod
+    def _noop(*_args, **_kwargs) -> None:
+        return None
+
+    def __getattr__(self, _name: str):
+        return self._noop
+
+
+NO_TRACE = NullTracer()
+
+
+class Tracer:
+    """Records request lifecycles, batch lanes and scheduler decisions.
+
+    Constructing with ``enabled=False`` yields a recorder that keeps the
+    same interface but drops everything — used by the overhead benchmark
+    to price the disabled guard against the untraced baseline.
+    """
+
+    def __init__(self, *, enabled: bool = True):
+        self.enabled = enabled
+        # request_id -> ordered lifecycle events.
+        self.events: dict[int, list[RequestEvent]] = {}
+        self.batches: list[BatchEvent] = []
+        self.decisions: list[SchedulerEvent] = []
+        # request_id -> terminal outcome (the dedupe ledger).
+        self._outcome: dict[int, str] = {}
+        # Terminal events dropped by the dedupe (should stay 0; counted
+        # so the regression tests can see attempted double-counts).
+        self.duplicate_terminals = 0
+        # request_id -> number of times scheduled (attempt counter).
+        self.attempts: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Emission (called by the serving loops, guarded by ``enabled``)
+    # ------------------------------------------------------------------ #
+
+    def _emit(
+        self,
+        request: Request,
+        kind: EventKind,
+        t: float,
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        rid = request.request_id
+        if kind in TERMINAL_KINDS:
+            if rid in self._outcome:
+                self.duplicate_terminals += 1
+                return
+            self._outcome[rid] = kind.value
+            # A request factually stayed unserved until its last recorded
+            # event; clamp so end-of-run sweeps cannot time-travel.
+            history = self.events.get(rid)
+            if history:
+                t = max(t, history[-1].t)
+        self.events.setdefault(rid, []).append(
+            RequestEvent(kind=kind, t=t, attrs=dict(attrs or {}))
+        )
+
+    def arrive(self, request: Request, t: float) -> None:
+        self._emit(request, EventKind.ARRIVE, t, {"length": request.length})
+
+    def enqueue(self, request: Request, t: float) -> None:
+        self._emit(request, EventKind.ENQUEUE, t)
+
+    def scheduled(
+        self, requests: Iterable[Request], t: float, **attrs: Any
+    ) -> None:
+        for r in requests:
+            n = self.attempts.get(r.request_id, 0) + 1
+            self.attempts[r.request_id] = n
+            self._emit(r, EventKind.SCHEDULED, t, {"attempt": n, **attrs})
+
+    def packed_layouts(self, layouts: Iterable, t: float) -> None:
+        """PACKED events with (row, slot, start) from executed layouts."""
+        for layout in layouts:
+            for row_idx, row in enumerate(layout.rows):
+                if getattr(row, "slots", None):
+                    for slot_idx, slot in enumerate(row.slots):
+                        for seg in slot.segments:
+                            self._emit(
+                                seg.request,
+                                EventKind.PACKED,
+                                t,
+                                {"row": row_idx, "slot": slot_idx, "start": seg.start},
+                            )
+                else:
+                    for seg in row.segments:
+                        self._emit(
+                            seg.request,
+                            EventKind.PACKED,
+                            t,
+                            {"row": row_idx, "slot": 0, "start": seg.start},
+                        )
+
+    def executed(
+        self,
+        requests: Iterable[Request],
+        t: float,
+        latency: float,
+        *,
+        engine: int = 0,
+    ) -> None:
+        for r in requests:
+            self._emit(
+                r, EventKind.EXECUTED, t, {"latency": latency, "engine": engine}
+            )
+
+    def requeued(self, requests: Iterable[Request], t: float) -> None:
+        for r in requests:
+            self._emit(r, EventKind.REQUEUED, t)
+
+    def served(self, requests: Iterable[Request], t: float) -> None:
+        for r in requests:
+            self._emit(r, EventKind.SERVED, t)
+
+    def expired(self, requests: Iterable[Request], t: float) -> None:
+        """Expiry sweep at simulated time ``t`` (or horizon clean-up).
+
+        Each request expires at its own deadline when that is earlier
+        than the sweep time — the deadline is when it actually left the
+        servable set; Eq. 12's window is closed so ties go to ``t``.
+        """
+        for r in requests:
+            self._emit(r, EventKind.EXPIRED, min(max(r.deadline, r.arrival), t))
+
+    def rejected(self, request: Request, t: float) -> None:
+        self._emit(request, EventKind.REJECTED, t)
+
+    def abandoned(self, requests: Iterable[Request], t: float) -> None:
+        for r in requests:
+            self._emit(r, EventKind.ABANDONED, t)
+
+    def batch(
+        self,
+        t: float,
+        duration: float,
+        *,
+        engine: int = 0,
+        kind: str = "batch",
+        **attrs: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.batches.append(
+            BatchEvent(
+                t_start=t, duration=duration, engine=engine, kind=kind, attrs=attrs
+            )
+        )
+
+    def decision(
+        self, t: float, runtime: float, attrs: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        if not self.enabled:
+            return
+        self.decisions.append(
+            SchedulerEvent(t=t, runtime=runtime, attrs=dict(attrs or {}))
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+
+    def spans(self) -> list[Span]:
+        """Lifecycle spans: state opened by event *i* closes at event *i+1*.
+
+        Terminal events become zero-length outcome markers.  Spans are
+        ordered by (request_id, t_start).
+        """
+        out: list[Span] = []
+        for rid in sorted(self.events):
+            evs = self.events[rid]
+            for ev, nxt in zip(evs, evs[1:]):
+                out.append(
+                    Span(
+                        request_id=rid,
+                        phase=ev.kind.value,
+                        t_start=ev.t,
+                        t_end=nxt.t,
+                        attrs=ev.attrs,
+                    )
+                )
+            last = evs[-1]
+            out.append(
+                Span(
+                    request_id=rid,
+                    phase=last.kind.value,
+                    t_start=last.t,
+                    t_end=last.t,
+                    attrs=last.attrs,
+                )
+            )
+        return out
+
+    def outcomes(self) -> dict[int, str]:
+        """request_id -> terminal outcome name."""
+        return dict(self._outcome)
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts = {k.value: 0 for k in TERMINAL_KINDS}
+        for outcome in self._outcome.values():
+            counts[outcome] += 1
+        return counts
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.events)
+
+    def reconcile(self, metrics: "ServingMetrics") -> None:
+        """Assert the span ledger matches the metrics ledger 1:1.
+
+        Every terminal span outcome must map onto the corresponding
+        ``ServingMetrics`` bucket, and every arrived request must carry
+        exactly one terminal span.  Raises AssertionError on any drift —
+        the serving loops call this at the end of every traced run.
+        """
+        counts = self.outcome_counts()
+        expected = {
+            "served": metrics.num_served,
+            "expired": metrics.num_expired,
+            "rejected": metrics.num_rejected,
+            "abandoned": metrics.num_abandoned,
+        }
+        if counts != expected:
+            raise AssertionError(
+                f"trace/metrics ledger mismatch: spans={counts} metrics={expected}"
+            )
+        terminal = len(self._outcome)
+        if terminal != metrics.arrived:
+            raise AssertionError(
+                f"{terminal} terminal spans for {metrics.arrived} arrived requests"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tracer(requests={self.num_requests}, batches={len(self.batches)}, "
+            f"decisions={len(self.decisions)}, outcomes={self.outcome_counts()})"
+        )

@@ -39,6 +39,10 @@ class SchedulingDecision:
     # Requests selected by Algorithm 1 but discarded by Algorithm 2's
     # slot-size limit (longer than the chosen slot).
     discarded: list[Request] = field(default_factory=list)
+    # Scheduler self-description for observability (repro.obs): DAS
+    # reports its utility-dominant / deadline-aware set sizes and η/q
+    # here; traced serving loops attach it to the decision event.
+    info: dict = field(default_factory=dict)
 
     def selected(self) -> list[Request]:
         """All selected requests in row-major (= concatenation) order."""

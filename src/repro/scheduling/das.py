@@ -151,6 +151,17 @@ class DASScheduler(Scheduler):
 
         if self.record_parts:
             self.last_parts = parts
-        decision = SchedulingDecision(rows=rows)
+        decision = SchedulingDecision(
+            rows=rows,
+            # Per-decision DAS observability (repro.obs): how the
+            # selection split between Algorithm 1's two mechanisms.
+            info={
+                "scheduler": self.name,
+                "eta": eta,
+                "q": q,
+                "num_utility_dominant": sum(len(u) for u, _ in parts),
+                "num_deadline_aware": sum(len(d) for _, d in parts),
+            },
+        )
         decision.runtime = time.perf_counter() - start
         return decision

@@ -74,7 +74,15 @@ class SlottedDASScheduler(Scheduler):
             rows.append(packed)
 
         decision = SchedulingDecision(
-            rows=rows, slot_size=z, discarded=discarded
+            rows=rows,
+            slot_size=z,
+            discarded=discarded,
+            info={
+                **base.info,
+                "scheduler": self.name,
+                "slot_size": z,
+                "num_discarded": len(discarded),
+            },
         )
         decision.runtime = time.perf_counter() - start
         return decision

@@ -28,6 +28,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.engine.base import InferenceEngine
 from repro.faults.recovery import RetryPolicy, requeue_failed, serve_slot
+from repro.obs.recorder import NO_TRACE, Tracer
 from repro.scheduling.base import Scheduler
 from repro.scheduling.queue import RequestQueue
 from repro.serving.admission import AdmissionController
@@ -50,6 +51,7 @@ class ClusterSimulator:
         *,
         admission: Optional[AdmissionController] = None,
         retry: Optional[RetryPolicy] = None,
+        trace: Optional[Tracer] = None,
     ):
         if not engines:
             raise ValueError("need at least one engine")
@@ -57,6 +59,7 @@ class ClusterSimulator:
         self.engines = list(engines)
         self.admission = admission
         self.retry = retry or RetryPolicy()
+        self.trace = trace
 
     def _release(self, requests: Iterable[Request]) -> None:
         if self.admission is not None:
@@ -78,6 +81,7 @@ class ClusterSimulator:
     ) -> SimulationResult:
         requests, horizon = resolve_workload(workload, horizon)
 
+        tr = self.trace if self.trace is not None else NO_TRACE
         metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
         result = SimulationResult(metrics=metrics)
         queue = RequestQueue()
@@ -101,8 +105,17 @@ class ClusterSimulator:
                 r = requests[next_arrival]
                 if self.admission is None or self.admission.admit(r, r.arrival):
                     queue.add(r)
+                    if tr.enabled:
+                        tr.arrive(r, r.arrival)
+                        tr.enqueue(r, r.arrival)
+                elif tr.enabled:
+                    tr.arrive(r, r.arrival)
+                    tr.rejected(r, r.arrival)
                 next_arrival += 1
-            self._release(queue.expire(now))
+            dead = queue.expire(now)
+            if tr.enabled:
+                tr.expired(dead, now)
+            self._release(dead)
             waiting = queue.waiting(now)
             if not waiting:
                 if next_arrival < n:
@@ -130,6 +143,18 @@ class ClusterSimulator:
             metrics.total_scheduler_time += decision.runtime
             engine = self.engines[engine_idx]
             apply_slot_size(engine, decision)
+            if tr.enabled:
+                tr.decision(
+                    now,
+                    decision.runtime,
+                    {
+                        "scheduler": self.scheduler.name,
+                        "num_selected": decision.num_selected,
+                        "queue_depth": len(waiting),
+                        "engine": engine_idx,
+                        **decision.info,
+                    },
+                )
 
             selected = decision.selected()
             if not selected:
@@ -140,6 +165,8 @@ class ClusterSimulator:
                 ]
                 if unservable:
                     queue.drop(unservable)
+                    if tr.enabled:
+                        tr.expired(unservable, now)
                     self._release(unservable)
                     heapq.heappush(idle, (now, engine_idx, engine_idx))
                 elif next_arrival < n:
@@ -161,10 +188,22 @@ class ClusterSimulator:
                         )
                 continue
 
+            if tr.enabled:
+                tr.scheduled(selected, now)
             outcome = serve_slot(engine, selected, now)
             metrics.failed_batches += outcome.failures
             metrics.retries += outcome.split_retries
             metrics.total_engine_time += outcome.wasted
+            if tr.enabled and outcome.failures:
+                tr.batch(
+                    now,
+                    outcome.wasted,
+                    engine=engine_idx,
+                    kind="failed",
+                    failures=outcome.failures,
+                    split_retries=outcome.split_retries,
+                    num_requests=len(selected),
+                )
 
             if outcome.down_until is not None:
                 # Engine failover: the crashed engine leaves the heap for
@@ -176,6 +215,16 @@ class ClusterSimulator:
                     queue, self.retry, engine.cost_model, outcome.failed, now
                 )
                 metrics.retries += len(retained)
+                if tr.enabled:
+                    tr.batch(
+                        now + outcome.wasted,
+                        outcome.downtime,
+                        engine=engine_idx,
+                        kind="crash",
+                        downtime=outcome.downtime,
+                    )
+                    tr.requeued(retained, now)
+                    tr.abandoned(lost, now)
                 self._release(lost)
                 heapq.heappush(
                     idle, (outcome.down_until, engine_idx, engine_idx)
@@ -186,6 +235,9 @@ class ClusterSimulator:
                     queue, self.retry, engine.cost_model, outcome.failed, now
                 )
                 metrics.retries += len(retained)
+                if tr.enabled:
+                    tr.requeued(retained, now)
+                    tr.abandoned(lost, now)
                 self._release(lost)
                 heapq.heappush(
                     idle, (now + outcome.wasted, engine_idx, engine_idx)
@@ -195,6 +247,35 @@ class ClusterSimulator:
             batch_result = outcome.result
             latency = max(batch_result.latency, MIN_SLOT)
             finish = now + outcome.wasted + latency
+            if tr.enabled:
+                dispatch = now + outcome.wasted
+                tr.packed_layouts(batch_result.layouts, dispatch)
+                tr.executed(
+                    batch_result.served, dispatch, latency, engine=engine_idx
+                )
+                tr.batch(
+                    dispatch,
+                    latency,
+                    engine=engine_idx,
+                    kind="batch",
+                    num_requests=batch_result.num_served,
+                    useful_tokens=batch_result.stats.useful_tokens,
+                    padded_tokens=batch_result.stats.padded_tokens,
+                    padding_efficiency=batch_result.stats.utilisation,
+                    rows=batch_result.stats.rows,
+                    row_width=batch_result.stats.row_width,
+                    slot_size=decision.slot_size,
+                    failures=outcome.failures,
+                    split_retries=outcome.split_retries,
+                    wasted=outcome.wasted,
+                    **engine.trace_annotations(batch_result),
+                )
+                served_ids = {r.request_id for r in batch_result.served}
+                tr.requeued(
+                    [r for r in selected if r.request_id not in served_ids],
+                    dispatch,
+                )
+                tr.served(batch_result.served, finish)
             queue.remove_served(batch_result.served)
             self._release(batch_result.served)
             for r in batch_result.served:
@@ -206,11 +287,18 @@ class ClusterSimulator:
             metrics.padded_tokens += batch_result.stats.padded_tokens
             heapq.heappush(idle, (finish, engine_idx, engine_idx))
 
-        queue.expire(float("inf"))
+        dead = queue.expire(float("inf"))
+        if tr.enabled:
+            tr.expired(dead, horizon)
+            for r in requests[next_arrival:]:
+                tr.arrive(r, r.arrival)
+            tr.expired(requests[next_arrival:], horizon)
         metrics.expired.extend(queue.expired)
         metrics.expired.extend(requests[next_arrival:])
         metrics.abandoned.extend(queue.abandoned)
         if self.admission is not None:
             metrics.rejected.extend(self.admission.rejected[rejected_before:])
         metrics.assert_conservation()
+        if tr.enabled:
+            tr.reconcile(metrics)
         return result

@@ -42,6 +42,7 @@ from repro.config import BatchConfig
 from repro.engine.cost_model import GPUCostModel
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.faults.recovery import RetryPolicy, requeue_failed
+from repro.obs.recorder import NO_TRACE, Tracer
 from repro.rng import ensure_rng
 from repro.scheduling.queue import RequestQueue
 from repro.serving.common import resolve_workload
@@ -74,6 +75,7 @@ class ContinuousBatchingSimulator:
         rng: Optional[np.random.Generator] = None,
         fault_plan: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
+        trace: Optional[Tracer] = None,
     ):
         if mean_output_tokens < 1:
             raise ValueError("mean_output_tokens must be >= 1")
@@ -90,6 +92,7 @@ class ContinuousBatchingSimulator:
         self.rng = rng
         self.fault_plan = fault_plan
         self.retry = retry or RetryPolicy()
+        self.trace = trace
 
     def _event(self, iteration: int) -> FaultEvent:
         if self.fault_plan is None or self.fault_plan.config.is_zero:
@@ -112,6 +115,7 @@ class ContinuousBatchingSimulator:
         requests, horizon = resolve_workload(workload, horizon)
 
         rng = ensure_rng(self.rng, default_seed=self.seed)
+        tr = self.trace if self.trace is not None else NO_TRACE
         metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
         queue = RequestQueue()
         running: list[_Running] = []
@@ -125,9 +129,15 @@ class ContinuousBatchingSimulator:
 
         while now < horizon:
             while next_arrival < n and requests[next_arrival].arrival <= now:
-                queue.add(requests[next_arrival])
+                r = requests[next_arrival]
+                queue.add(r)
+                if tr.enabled:
+                    tr.arrive(r, r.arrival)
+                    tr.enqueue(r, r.arrival)
                 next_arrival += 1
-            queue.expire(now)
+            dead = queue.expire(now)
+            if tr.enabled:
+                tr.expired(dead, now)
 
             # Admit while there is token budget.
             used = sum(r.request.length for r in running)
@@ -146,6 +156,8 @@ class ContinuousBatchingSimulator:
             prefill_entries = 0
             if admitted:
                 queue.remove_served(admitted)  # leaves the wait queue
+                if tr.enabled:
+                    tr.scheduled(admitted, now)
                 prefill_tokens = sum(r.length for r in admitted)
                 prefill_entries = sum(r.length**2 for r in admitted)
                 for req in admitted:
@@ -166,14 +178,22 @@ class ContinuousBatchingSimulator:
                 # bounded deadline-aware requeue (they must re-prefill).
                 metrics.failed_batches += 1
                 metrics.downtime += event.downtime
+                if tr.enabled:
+                    tr.batch(
+                        now, event.downtime, kind="crash",
+                        downtime=event.downtime, num_requests=len(running),
+                    )
                 now += event.downtime
                 residents = [r.request for r in running]
                 running = []
-                retained, _ = requeue_failed(
+                retained, lost = requeue_failed(
                     queue, self.retry, self.cost_model, residents, now
                 )
                 queue.requeue(retained)
                 metrics.retries += len(retained)
+                if tr.enabled:
+                    tr.requeued(retained, now)
+                    tr.abandoned(lost, now)
                 continue
             if event.kind is FaultKind.OOM:
                 # Transient alloc failure: evict the newest half of the
@@ -181,16 +201,24 @@ class ContinuousBatchingSimulator:
                 # only the launch overhead is wasted.
                 metrics.failed_batches += 1
                 wasted = self.cost_model.fixed_per_batch
+                if tr.enabled:
+                    tr.batch(
+                        now, wasted, kind="failed", fault="oom",
+                        num_requests=len(running),
+                    )
                 now += wasted
                 metrics.total_engine_time += wasted
                 keep = len(running) // 2
                 victims = [r.request for r in running[keep:]]
                 running = running[:keep]
-                retained, _ = requeue_failed(
+                retained, lost = requeue_failed(
                     queue, self.retry, self.cost_model, victims, now
                 )
                 queue.requeue(retained)
                 metrics.retries += len(retained)
+                if tr.enabled:
+                    tr.requeued(retained, now)
+                    tr.abandoned(lost, now)
                 continue
 
             # One fused iteration (Orca's selective batching): a decode
@@ -205,6 +233,20 @@ class ContinuousBatchingSimulator:
             )
             if event.kind is FaultKind.STRAGGLER:
                 step *= event.multiplier
+            if tr.enabled:
+                tr.batch(
+                    now,
+                    step,
+                    kind=(
+                        "failed"
+                        if event.kind is FaultKind.FAILURE
+                        else "iteration"
+                    ),
+                    num_requests=len(running),
+                    context_tokens=context,
+                    prefill_tokens=prefill_tokens,
+                    straggler=event.kind is FaultKind.STRAGGLER,
+                )
             now += step
             metrics.total_engine_time += step
             if event.kind is FaultKind.FAILURE:
@@ -215,9 +257,11 @@ class ContinuousBatchingSimulator:
             metrics.num_batches += 1  # one iteration
 
             still: list[_Running] = []
+            finished: list[Request] = []
             for r in running:
                 r.remaining_steps -= 1
                 if r.remaining_steps <= 0:
+                    finished.append(r.request)
                     metrics.served.append(r.request)
                     metrics.finish_times[r.request.request_id] = (
                         r.request.arrival,
@@ -226,13 +270,23 @@ class ContinuousBatchingSimulator:
                 else:
                     still.append(r)
             running = still
+            if tr.enabled and finished:
+                tr.served(finished, now)
 
         # Unfinished residents at the horizon still produced no response.
         for r in running:
             metrics.expired.append(r.request)
-        queue.expire(float("inf"))
+        dead = queue.expire(float("inf"))
+        if tr.enabled:
+            tr.expired([r.request for r in running], horizon)
+            tr.expired(dead, horizon)
+            for r in requests[next_arrival:]:
+                tr.arrive(r, r.arrival)
+            tr.expired(requests[next_arrival:], horizon)
         metrics.expired.extend(queue.expired)
         metrics.expired.extend(requests[next_arrival:])
         metrics.abandoned.extend(queue.abandoned)
         metrics.assert_conservation()
+        if tr.enabled:
+            tr.reconcile(metrics)
         return metrics

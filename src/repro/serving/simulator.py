@@ -28,6 +28,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.engine.base import BatchResult, InferenceEngine
 from repro.faults.recovery import RetryPolicy, requeue_failed, serve_slot
+from repro.obs.recorder import NO_TRACE, Tracer
 from repro.scheduling.base import Scheduler, SchedulingDecision
 from repro.scheduling.queue import RequestQueue
 from repro.serving.admission import AdmissionController
@@ -59,12 +60,17 @@ class ServingSimulator:
         record_slots: bool = False,
         admission: Optional[AdmissionController] = None,
         retry: Optional[RetryPolicy] = None,
+        trace: Optional[Tracer] = None,
     ):
         self.scheduler = scheduler
         self.engine = engine
         self.record_slots = record_slots
         self.admission = admission
         self.retry = retry or RetryPolicy()
+        # Span tracing (repro.obs) is off by default: the loop falls
+        # back to the no-op recorder, so every emission site costs one
+        # `enabled` attribute lookup when disabled.
+        self.trace = trace
 
     def _release(self, requests: Iterable[Request]) -> None:
         """Tell the admission controller requests left the queue."""
@@ -80,6 +86,7 @@ class ServingSimulator:
         """Simulate serving the workload; returns metrics (+slot log)."""
         requests, horizon = resolve_workload(workload, horizon)
 
+        tr = self.trace if self.trace is not None else NO_TRACE
         metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
         result = SimulationResult(metrics=metrics)
         queue = RequestQueue()
@@ -99,8 +106,17 @@ class ServingSimulator:
                 r = requests[next_arrival]
                 if self.admission is None or self.admission.admit(r, r.arrival):
                     queue.add(r)
+                    if tr.enabled:
+                        tr.arrive(r, r.arrival)
+                        tr.enqueue(r, r.arrival)
+                elif tr.enabled:
+                    tr.arrive(r, r.arrival)
+                    tr.rejected(r, r.arrival)
                 next_arrival += 1
-            self._release(queue.expire(now))
+            dead = queue.expire(now)
+            if tr.enabled:
+                tr.expired(dead, now)
+            self._release(dead)
 
             waiting = queue.waiting(now)
             if not waiting:
@@ -113,6 +129,17 @@ class ServingSimulator:
             decision.validate(self.scheduler.batch)
             metrics.total_scheduler_time += decision.runtime
             apply_slot_size(self.engine, decision)
+            if tr.enabled:
+                tr.decision(
+                    now,
+                    decision.runtime,
+                    {
+                        "scheduler": self.scheduler.name,
+                        "num_selected": decision.num_selected,
+                        "queue_depth": len(waiting),
+                        **decision.info,
+                    },
+                )
 
             selected = decision.selected()
             if not selected:
@@ -125,6 +152,8 @@ class ServingSimulator:
                 ]
                 if unservable:
                     queue.drop(unservable)
+                    if tr.enabled:
+                        tr.expired(unservable, now)
                     self._release(unservable)
                     continue
                 if next_arrival >= n:
@@ -132,10 +161,21 @@ class ServingSimulator:
                 now = requests[next_arrival].arrival
                 continue
 
+            if tr.enabled:
+                tr.scheduled(selected, now)
             outcome = serve_slot(self.engine, selected, now)
             metrics.failed_batches += outcome.failures
             metrics.retries += outcome.split_retries
             metrics.total_engine_time += outcome.wasted
+            if tr.enabled and outcome.failures:
+                tr.batch(
+                    now,
+                    outcome.wasted,
+                    kind="failed",
+                    failures=outcome.failures,
+                    split_retries=outcome.split_retries,
+                    num_requests=len(selected),
+                )
             now += outcome.wasted
 
             if outcome.down_until is not None:
@@ -151,6 +191,13 @@ class ServingSimulator:
                     outcome.down_until,
                 )
                 metrics.retries += len(retained)
+                if tr.enabled:
+                    tr.batch(
+                        now, outcome.downtime, kind="crash",
+                        downtime=outcome.downtime,
+                    )
+                    tr.requeued(retained, now)
+                    tr.abandoned(lost, now)
                 self._release(lost)
                 now = max(now, outcome.down_until)
                 continue
@@ -165,12 +212,41 @@ class ServingSimulator:
                     now,
                 )
                 metrics.retries += len(retained)
+                if tr.enabled:
+                    tr.requeued(retained, now)
+                    tr.abandoned(lost, now)
                 self._release(lost)
                 continue
 
             batch_result = outcome.result
             latency = max(batch_result.latency, MIN_SLOT)
             finish = now + latency
+
+            if tr.enabled:
+                tr.packed_layouts(batch_result.layouts, now)
+                tr.executed(batch_result.served, now, latency)
+                tr.batch(
+                    now,
+                    latency,
+                    kind="batch",
+                    num_requests=batch_result.num_served,
+                    useful_tokens=batch_result.stats.useful_tokens,
+                    padded_tokens=batch_result.stats.padded_tokens,
+                    padding_efficiency=batch_result.stats.utilisation,
+                    rows=batch_result.stats.rows,
+                    row_width=batch_result.stats.row_width,
+                    slot_size=decision.slot_size,
+                    failures=outcome.failures,
+                    split_retries=outcome.split_retries,
+                    wasted=outcome.wasted,
+                    **self.engine.trace_annotations(batch_result),
+                )
+                served_ids = {r.request_id for r in batch_result.served}
+                leftover = [
+                    r for r in selected if r.request_id not in served_ids
+                ]
+                tr.requeued(leftover, now)
+                tr.served(batch_result.served, finish)
 
             queue.remove_served(batch_result.served)
             self._release(batch_result.served)
@@ -189,11 +265,18 @@ class ServingSimulator:
 
         # Anything still waiting at the horizon (or arriving after the
         # last slot) counts as failed.
-        queue.expire(float("inf"))
+        dead = queue.expire(float("inf"))
+        if tr.enabled:
+            tr.expired(dead, horizon)
+            for r in requests[next_arrival:]:
+                tr.arrive(r, r.arrival)
+            tr.expired(requests[next_arrival:], horizon)
         metrics.expired.extend(queue.expired)
         metrics.expired.extend(requests[next_arrival:])
         metrics.abandoned.extend(queue.abandoned)
         if self.admission is not None:
             metrics.rejected.extend(self.admission.rejected[rejected_before:])
         metrics.assert_conservation()
+        if tr.enabled:
+            tr.reconcile(metrics)
         return result

@@ -24,16 +24,30 @@ __all__ = ["slot_records", "timeline", "to_jsonl"]
 
 
 def slot_records(result: SimulationResult) -> list[dict]:
-    """Flatten the recorded slots (requires ``record_slots=True``)."""
+    """Flatten the recorded slots (requires ``record_slots=True``).
+
+    A request the engine could not serve (planner rejection or fault
+    requeue) stays in the wait queue and is re-selected in a later slot,
+    so ``num_selected`` summed over records counts it once per attempt.
+    ``num_first_selected`` / ``num_retry_selected`` split each slot's
+    selection by request id — summing ``num_first_selected`` counts
+    every request exactly once.
+    """
     records = []
+    seen: set[int] = set()
     for t_start, decision, batch in result.slots:
         useful = batch.stats.useful_tokens
         padded = batch.stats.padded_tokens
+        selected = decision.selected()
+        first = [r for r in selected if r.request_id not in seen]
+        seen.update(r.request_id for r in selected)
         records.append(
             {
                 "t_start": t_start,
                 "latency": batch.latency,
                 "num_selected": decision.num_selected,
+                "num_first_selected": len(first),
+                "num_retry_selected": decision.num_selected - len(first),
                 "num_served": batch.num_served,
                 "num_rejected": len(batch.rejected),
                 "slot_size": decision.slot_size,
@@ -57,9 +71,16 @@ def timeline(
     """Queue depth + cumulative served/expired over the horizon.
 
     ``workload`` must be the same request trace the simulation ran.
-    Queue depth at time t = arrived(t) − served-by(t) − expired-by(t),
-    with served times taken from the metrics' finish times and expiries
-    at their deadlines.
+    Queue depth at time t = arrived(t) − served-by(t) − failed-by(t),
+    with served times taken from the metrics' finish times, expiries at
+    their deadlines, and fault-abandoned requests at their deadlines as
+    well (the closest recorded proxy for when they left the queue).
+
+    Terminal ledgers are deduplicated on request id: optimistic failure
+    detection in the cluster loop can record the same request's demise
+    more than once (it may be in flight on a survivor while a crashed
+    engine's casualties are triaged), and a duplicate here would inflate
+    the failure counts and drive the queue depth negative.
     """
     if num_points < 2:
         raise ValueError("num_points must be >= 2")
@@ -67,10 +88,19 @@ def timeline(
     horizon = m.horizon
     ts = np.linspace(0.0, horizon, num_points)
 
+    def _dedupe(requests: Sequence[Request]) -> list[Request]:
+        unique: dict[int, Request] = {}
+        for r in requests:
+            unique.setdefault(r.request_id, r)
+        return list(unique.values())
+
     arrivals = np.sort([r.arrival for r in workload])
     finish = np.sort([f for _, f in m.finish_times.values()])
     expiries = np.sort(
-        [min(r.deadline, horizon) for r in m.expired]
+        [min(r.deadline, horizon) for r in _dedupe(m.expired)]
+    )
+    abandons = np.sort(
+        [min(r.deadline, horizon) for r in _dedupe(m.abandoned)]
     )
 
     queue, served_c, expired_c = [], [], []
@@ -78,9 +108,10 @@ def timeline(
         a = int(np.searchsorted(arrivals, t, side="right"))
         s = int(np.searchsorted(finish, t, side="right"))
         e = int(np.searchsorted(expiries, t, side="right"))
+        ab = int(np.searchsorted(abandons, t, side="right"))
         served_c.append(float(s))
         expired_c.append(float(e))
-        queue.append(float(max(0, a - s - e)))
+        queue.append(float(max(0, a - s - e - ab)))
     return {
         "t": [float(t) for t in ts],
         "queue_depth": queue,

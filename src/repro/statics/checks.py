@@ -158,7 +158,7 @@ class SimTimePurity(Rule):
     title = "wall-clock read in simulator code"
     severity = Severity.ERROR
 
-    _SCOPE = ("repro/serving/", "repro/scheduling/")
+    _SCOPE = ("repro/serving/", "repro/scheduling/", "repro/obs/")
     _BANNED = frozenset(
         {
             "time.time",

@@ -82,3 +82,39 @@ class TestCommands:
     def test_fast_figure(self, capsys):
         assert main(["figure", "fig16", "--fast"]) == 0
         assert "overhead_percent" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_list_includes_traces(self, capsys):
+        from repro.experiments.traced import available_traces
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in available_traces():
+            assert name in out
+
+    def test_unknown_trace(self, capsys):
+        assert main(["trace", "nope"]) == 2
+        assert "unknown traced experiment" in capsys.readouterr().err
+
+    def test_chrome_export_to_file_is_valid(self, tmp_path, capsys):
+        from repro.obs.export import validate_chrome_trace
+
+        dest = tmp_path / "fig13.json"
+        assert main(["trace", "fig13", "--fast", "--out", str(dest)]) == 0
+        doc = json.loads(dest.read_text())
+        validate_chrome_trace(doc)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_csv_format(self, capsys):
+        assert main(["trace", "faults", "--fast", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == (
+            "request_id,phase,t_start,t_end,duration,attrs"
+        )
+
+    def test_ascii_format(self, capsys):
+        assert main(["trace", "fig9", "--fast", "--format", "ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "queue depth" in out
+        assert "served cum" in out

@@ -1,0 +1,151 @@
+"""Differential engine tests: every batching scheme, same numbers.
+
+The paper's correctness claim (§4, Eqs. 5–8) is that ConcatBatching —
+separate positional encodings plus a block-diagonal (per-slot for the
+slotted variant) attention mask — makes a concatenated batch compute
+*exactly* what per-request NaiveBatching computes.  These tests check
+that claim differentially: seeded random workloads are executed through
+the Naive, Concat and Slotted engines' real planners and the NumPy
+encoder, and per-request hidden states (sliced out of each layout via
+its segments) must agree elementwise with the solo
+:meth:`~repro.model.seq2seq.Seq2SeqModel.encode_single` oracle.
+
+The sweep covers batch size, slot size and length variance — exactly
+the axes along which the layouts (and therefore the masks and position
+matrices) differ between schemes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BatchConfig
+from repro.engine.base import InferenceEngine
+from repro.engine.concat import ConcatEngine
+from repro.engine.naive import NaiveEngine
+from repro.engine.slotted import SlottedConcatEngine
+from repro.types import Request
+
+# float64 end-to-end: the schemes must agree to numerical noise.
+ATOL = 1e-8
+
+
+def _random_requests(rng, n, low, high, vocab_size):
+    lengths = rng.integers(low, high + 1, size=n)
+    return [
+        Request(
+            request_id=i,
+            length=int(l),
+            tokens=tuple(
+                int(t) for t in rng.integers(4, vocab_size, size=int(l))
+            ),
+        )
+        for i, l in enumerate(lengths)
+    ]
+
+
+def _per_request_outputs(
+    model, engine: InferenceEngine, requests, *, slotted: bool = False
+) -> dict[int, np.ndarray]:
+    """Plan + encode through an engine; slice per-request hidden states."""
+    layouts, rejected = engine.plan(requests)
+    assert not rejected, "sweep sizes are chosen so everything fits"
+    out: dict[int, np.ndarray] = {}
+    for layout in layouts:
+        layout.validate()
+        use_slots = slotted and any(row.slots for row in layout.rows)
+        memory = model.encode_layout(layout, slotted=use_slots)
+        for row_idx, seg in layout.segments():
+            assert seg.request.request_id not in out
+            out[seg.request.request_id] = memory[
+                row_idx, seg.start : seg.end, :
+            ]
+    assert set(out) == {r.request_id for r in requests}
+    return out
+
+
+def _assert_all_close(actual: dict[int, np.ndarray], oracle: dict[int, np.ndarray]):
+    assert set(actual) == set(oracle)
+    for rid in oracle:
+        np.testing.assert_allclose(
+            actual[rid], oracle[rid], atol=ATOL, rtol=0.0,
+            err_msg=f"request {rid} diverged",
+        )
+
+
+# Sweep axes: batch geometry × length variance, each with its own seed.
+SWEEP = [
+    # (seed, num_rows, row_length, low, high)
+    (0, 2, 16, 3, 8),     # small batch, moderate variance
+    (1, 4, 32, 3, 12),    # wider rows
+    (2, 8, 16, 4, 4),     # uniform lengths (no variance)
+    (3, 4, 24, 1, 12),    # high variance incl. single-token requests
+    (4, 1, 32, 3, 10),    # single row: pure concatenation
+]
+
+
+@pytest.mark.parametrize("seed,num_rows,row_length,low,high", SWEEP)
+class TestDifferentialEngines:
+    def _workload(self, tiny_config, seed, num_rows, row_length, low, high):
+        rng = np.random.default_rng(1000 + seed)
+        n = max(2, num_rows * 2)
+        return _random_requests(rng, n, low, high, tiny_config.vocab_size)
+
+    def test_concat_matches_naive(
+        self, tiny_model, tiny_config, seed, num_rows, row_length, low, high
+    ):
+        reqs = self._workload(tiny_config, seed, num_rows, row_length, low, high)
+        batch = BatchConfig(num_rows=num_rows, row_length=row_length)
+        naive = _per_request_outputs(
+            tiny_model, NaiveEngine(batch), reqs
+        )
+        concat = _per_request_outputs(
+            tiny_model, ConcatEngine(batch), reqs
+        )
+        _assert_all_close(concat, naive)
+
+    def test_slotted_matches_naive(
+        self, tiny_model, tiny_config, seed, num_rows, row_length, low, high
+    ):
+        reqs = self._workload(tiny_config, seed, num_rows, row_length, low, high)
+        batch = BatchConfig(num_rows=num_rows, row_length=row_length)
+        naive = _per_request_outputs(tiny_model, NaiveEngine(batch), reqs)
+        # Two equal slots per row; the sweep keeps lengths <= slot size.
+        slotted_engine = SlottedConcatEngine(batch, num_slots=2)
+        if high > slotted_engine.slot_size:
+            pytest.skip("lengths exceed the fixed slot size")
+        slotted = _per_request_outputs(
+            tiny_model, slotted_engine, reqs, slotted=True
+        )
+        _assert_all_close(slotted, naive)
+
+    def test_naive_matches_solo_oracle(
+        self, tiny_model, tiny_config, seed, num_rows, row_length, low, high
+    ):
+        """Anchor the chain: NaiveBatching == one-request-at-a-time."""
+        reqs = self._workload(tiny_config, seed, num_rows, row_length, low, high)
+        batch = BatchConfig(num_rows=num_rows, row_length=row_length)
+        naive = _per_request_outputs(tiny_model, NaiveEngine(batch), reqs)
+        for r in reqs:
+            solo = tiny_model.encode_single(r.tokens)[0]
+            np.testing.assert_allclose(
+                naive[r.request_id], solo, atol=ATOL, rtol=0.0,
+                err_msg=f"request {r.request_id} diverged from solo oracle",
+            )
+
+
+class TestSlotSizeSweep:
+    """Vary the slot count at fixed geometry (Fig. 13's axis)."""
+
+    @pytest.mark.parametrize("num_slots", [1, 2, 4])
+    def test_slot_count_does_not_change_outputs(self, tiny_model, tiny_config, num_slots):
+        rng = np.random.default_rng(77)
+        batch = BatchConfig(num_rows=3, row_length=32)
+        engine = SlottedConcatEngine(batch, num_slots=num_slots)
+        reqs = _random_requests(
+            rng, 6, 2, min(engine.slot_size, 10), tiny_config.vocab_size
+        )
+        naive = _per_request_outputs(tiny_model, NaiveEngine(batch), reqs)
+        slotted = _per_request_outputs(tiny_model, engine, reqs, slotted=True)
+        _assert_all_close(slotted, naive)

@@ -111,3 +111,83 @@ class TestTrace:
         for line in lines:
             rec = json.loads(line)
             assert "t_start" in rec
+
+
+def _run_recorded_with_retries(seed=0):
+    """Overloaded + OOM-faulted run: requests get re-selected."""
+    from repro.faults.engine import FaultyEngine
+    from repro.faults.plan import FaultConfig, FaultPlan
+
+    batch = BatchConfig(num_rows=2, row_length=20)
+    wl = WorkloadGenerator(
+        rate=300.0,
+        lengths=LengthDistribution(family="normal", mean=8, spread=4, low=3, high=20),
+        deadlines=DeadlineModel(base_slack=4.0),
+        horizon=2.0,
+        seed=seed,
+    )
+    plan = FaultPlan(FaultConfig(oom_rate=0.5, oom_threshold=0.3), seed=seed)
+    sim = ServingSimulator(
+        FCFSScheduler(batch),
+        FaultyEngine(ConcatEngine(batch), plan),
+        record_slots=True,
+    )
+    return sim.run(wl), wl.generate()
+
+
+class TestTraceRequeueDedupe:
+    """Regression: requeued/re-selected requests must not double-count.
+
+    A request the engine could not serve (planner rejection, OOM
+    split-retry) stays in the wait queue and is selected again in a
+    later slot; ``slot_records`` used to count it once per attempt.
+    """
+
+    def test_first_selected_counts_each_request_once(self):
+        result, requests = _run_recorded_with_retries()
+        recs = slot_records(result)
+        assert recs
+        # The overloaded + OOM-faulted run must actually exercise the
+        # retry path, otherwise this test proves nothing.
+        assert any(r["num_retry_selected"] > 0 for r in recs)
+        assert all(
+            r["num_first_selected"] + r["num_retry_selected"]
+            == r["num_selected"]
+            for r in recs
+        )
+        # Dedupe on request id: first-selections count every request at
+        # most once, while raw selections overcount by the retries.
+        first = sum(r["num_first_selected"] for r in recs)
+        raw = sum(r["num_selected"] for r in recs)
+        assert first <= len(requests)
+        assert raw > first
+
+    def test_timeline_dedupes_terminal_ledgers(self):
+        result, requests = _run_recorded_with_retries()
+        m = result.metrics
+        # Simulate the cluster loop's optimistic failure detection
+        # recording the same casualty twice.
+        if m.expired:
+            m.expired.append(m.expired[0])
+        tl = timeline(result, requests, num_points=30)
+        assert all(q >= 0 for q in tl["queue_depth"])
+        unique_expired = len({r.request_id for r in m.expired})
+        assert tl["expired_cum"][-1] <= unique_expired
+
+    def test_timeline_accounts_for_abandoned(self):
+        result, requests = _run_recorded_with_retries()
+        m = result.metrics
+        tl = timeline(result, requests, num_points=30)
+        # Every request reached a terminal state — abandoned requests
+        # included (the old arrived − served − expired formula left
+        # them resident forever).  Requests whose final batch finishes
+        # after the horizon are the only ones a sample at t=horizon may
+        # still see as outstanding.
+        late = sum(1 for _, f in m.finish_times.values() if f > m.horizon)
+        total = (
+            tl["served_cum"][-1]
+            + tl["expired_cum"][-1]
+            + len({r.request_id for r in m.abandoned})
+        )
+        assert total + late == len(requests)
+        assert tl["queue_depth"][-1] <= late

@@ -70,6 +70,12 @@ class TestRuleTCB003:
         found = _lint_fixture("bad_tcb003.py", "repro/experiments/somewhere.py")
         assert _lines(found, "TCB003") == []
 
+    def test_fires_in_obs_paths(self):
+        # The tracing layer lives on the simulated clock too: every
+        # timestamp it records comes from the serving loops.
+        found = _lint_fixture("bad_tcb003.py", "repro/obs/somewhere.py")
+        assert _lines(found, "TCB003") == [13, 17, 21]
+
     def test_fig16_paths_waived_by_policy(self):
         found = _lint_fixture("bad_tcb003.py", "repro/scheduling/das.py")
         assert _lines(found, "TCB003") == []
