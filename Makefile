@@ -1,6 +1,6 @@
 # Convenience targets for the TCB reproduction.
 
-.PHONY: install test bench examples figures lint report trace-smoke clean
+.PHONY: install test bench examples figures lint report trace-smoke overload-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -33,7 +33,17 @@ trace-smoke:
 	PYTHONPATH=src python -m repro trace fig13 --fast --format chrome --out trace_fig13.json
 	PYTHONPATH=src python -c "import json; from repro.obs.export import validate_chrome_trace; validate_chrome_trace(json.load(open('trace_fig13.json'))); print('trace_fig13.json: valid chrome trace')"
 
-report: lint test bench
+# Quick overload-plane sanity: run the unit/property suite for
+# repro.overload and one small off/on goodput comparison.
+overload-smoke:
+	PYTHONPATH=src pytest tests/test_overload.py -q
+	PYTHONPATH=src python -c "from repro.experiments.overload import overload_point; \
+off = overload_point(450.0, shedding=False, horizon=6.0, seed=0); \
+on = overload_point(450.0, shedding=True, horizon=6.0, seed=0); \
+assert on.goodput_utility > off.goodput_utility, (on.goodput_utility, off.goodput_utility); \
+print(f'overload smoke: goodput {off.goodput_utility:.1f} (off) -> {on.goodput_utility:.1f} (on), {on.shed} shed')"
+
+report: lint test bench overload-smoke
 	python -m repro lint --format json --out lint_report.json
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

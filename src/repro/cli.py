@@ -98,6 +98,7 @@ def _ablations() -> dict[str, tuple[str, Callable[[], dict]]]:
         "das-components": ("DAS ingredient decomposition", ab.das_components_ablation),
         "sensitivity": ("cost-model sensitivity sweep", _run_sensitivity),
         "faults": ("serving under injected faults", _run_faults),
+        "overload": ("goodput vs offered load, shedding off/on", _run_overload),
     }
 
 
@@ -111,6 +112,12 @@ def _run_faults():
     from repro.experiments.fault_tolerance import run_fault_tolerance
 
     return run_fault_tolerance(seeds=(0, 1))
+
+
+def _run_overload():
+    from repro.experiments.overload import run_overload
+
+    return run_overload(seeds=(0, 1))
 
 
 def available_figures() -> list[str]:

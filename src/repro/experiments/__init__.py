@@ -30,11 +30,13 @@ from repro.experiments.scheduler_comparison import (
 )
 from repro.experiments.overhead import run_fig16_overhead
 from repro.experiments.fault_tolerance import run_fault_tolerance
+from repro.experiments.overload import run_overload
 from repro.experiments.tables import format_series_table
 
 __all__ = [
     "serving_point",
     "run_fault_tolerance",
+    "run_overload",
     "run_fig09_utility",
     "run_fig10_throughput",
     "run_fig11_fig12_fcfs",

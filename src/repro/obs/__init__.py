@@ -33,6 +33,7 @@ from repro.obs.spans import (
     TERMINAL_KINDS,
     BatchEvent,
     EventKind,
+    OverloadEvent,
     RequestEvent,
     SchedulerEvent,
     Span,
@@ -48,6 +49,7 @@ __all__ = [
     "Span",
     "BatchEvent",
     "SchedulerEvent",
+    "OverloadEvent",
     "chrome_trace",
     "chrome_trace_json",
     "validate_chrome_trace",

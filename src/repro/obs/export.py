@@ -26,7 +26,6 @@ import io
 import json
 from typing import Any, Mapping
 
-from repro.analysis.ascii_plot import ascii_chart
 from repro.obs.recorder import Tracer
 from repro.obs.spans import Span
 
@@ -34,6 +33,7 @@ __all__ = [
     "PID_REQUESTS",
     "PID_ENGINES",
     "PID_SCHEDULER",
+    "PID_OVERLOAD",
     "TIME_SCALE",
     "chrome_trace",
     "chrome_trace_json",
@@ -46,6 +46,10 @@ __all__ = [
 PID_REQUESTS = 1
 PID_ENGINES = 2
 PID_SCHEDULER = 3
+# Overload-plane lane (sheds, degradation levels, breaker trips).  Its
+# metadata entry is only emitted when a trace actually carries overload
+# events, so pre-overload traces keep exactly the three classic lanes.
+PID_OVERLOAD = 4
 
 # Simulated seconds -> Chrome's microsecond ``ts`` unit.
 TIME_SCALE = 1e6
@@ -54,10 +58,11 @@ _PROCESS_NAMES = {
     PID_REQUESTS: "requests",
     PID_ENGINES: "engines",
     PID_SCHEDULER: "scheduler",
+    PID_OVERLOAD: "overload",
 }
 
 
-def _metadata_events() -> list[dict[str, Any]]:
+def _metadata_events(*, with_overload: bool = False) -> list[dict[str, Any]]:
     return [
         {
             "name": "process_name",
@@ -69,12 +74,16 @@ def _metadata_events() -> list[dict[str, Any]]:
             "args": {"name": label},
         }
         for pid, label in sorted(_PROCESS_NAMES.items())
+        if with_overload or pid != PID_OVERLOAD
     ]
 
 
 def chrome_trace(tracer: Tracer) -> dict[str, Any]:
     """Lower a recorded trace to a Chrome ``trace_event`` document."""
-    events: list[dict[str, Any]] = _metadata_events()
+    overload = getattr(tracer, "overload_events", [])
+    events: list[dict[str, Any]] = _metadata_events(
+        with_overload=bool(overload)
+    )
     for span in tracer.spans():
         args = {
             "request_id": span.request_id,
@@ -120,6 +129,20 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
                 "pid": PID_SCHEDULER,
                 "tid": 0,
                 "args": {"runtime": d.runtime, **d.attrs},
+            }
+        )
+    for ov in overload:
+        events.append(
+            {
+                "name": ov.kind,
+                "cat": "overload",
+                "ph": "i",
+                "s": "t",
+                "ts": ov.t * TIME_SCALE,
+                "pid": PID_OVERLOAD,
+                # Breaker events get the engine's lane; sheds/levels 0.
+                "tid": int(ov.attrs.get("engine", 0)),
+                "args": {"t": ov.t, **ov.attrs},
             }
         )
     return {
@@ -272,4 +295,8 @@ def ascii_timeline(tracer: Tracer, *, num_points: int = 60) -> str:
         f"trace: {tracer.num_requests} requests, {len(tracer.batches)} batches | "
         + " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
     )
+    # Deferred: repro.analysis pulls in the serving stack, which itself
+    # imports the obs layer — a module-level import here would be cyclic.
+    from repro.analysis.ascii_plot import ascii_chart
+
     return ascii_chart(series, title=title, shared_scale=False)

@@ -28,6 +28,7 @@ from repro.obs.spans import (
     TERMINAL_KINDS,
     BatchEvent,
     EventKind,
+    OverloadEvent,
     RequestEvent,
     SchedulerEvent,
     Span,
@@ -70,6 +71,8 @@ class Tracer:
         self.events: dict[int, list[RequestEvent]] = {}
         self.batches: list[BatchEvent] = []
         self.decisions: list[SchedulerEvent] = []
+        # Overload-plane actions: sheds, level changes, breaker trips.
+        self.overload_events: list[OverloadEvent] = []
         # request_id -> terminal outcome (the dedupe ledger).
         self._outcome: dict[int, str] = {}
         # Terminal events dropped by the dedupe (should stay 0; counted
@@ -205,6 +208,12 @@ class Tracer:
         self.decisions.append(
             SchedulerEvent(t=t, runtime=runtime, attrs=dict(attrs or {}))
         )
+
+    def overload(self, t: float, kind: str, **attrs: Any) -> None:
+        """Record one overload-plane action (shed / level / breaker)."""
+        if not self.enabled:
+            return
+        self.overload_events.append(OverloadEvent(t=t, kind=kind, attrs=attrs))
 
     # ------------------------------------------------------------------ #
     # Derived views

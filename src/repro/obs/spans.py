@@ -35,6 +35,7 @@ __all__ = [
     "Span",
     "BatchEvent",
     "SchedulerEvent",
+    "OverloadEvent",
 ]
 
 
@@ -108,6 +109,23 @@ class BatchEvent:
     duration: float
     engine: int = 0
     kind: str = "batch"  # batch | iteration | failed | crash
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class OverloadEvent:
+    """One overload-plane action, on the simulated clock.
+
+    ``kind`` names the action — ``"shed"`` (a load-shedding decision
+    with victim count/tokens/policy), ``"level"`` (a degradation-level
+    transition with the triggering signals) or ``"breaker"`` (a circuit
+    breaker state change with its engine index).  These live in their
+    own lane: they are control-plane decisions *about* requests and
+    engines, not lifecycle steps of any single request.
+    """
+
+    t: float
+    kind: str
     attrs: Mapping[str, Any] = field(default_factory=dict)
 
 

@@ -1,0 +1,93 @@
+"""Bounded-queue limits and the typed backpressure signal.
+
+A :class:`QueueLimits` gives the wait queue a count and/or token
+capacity; :meth:`~repro.scheduling.queue.RequestQueue.pressure` lowers
+the queue's current occupancy against those limits into a
+:class:`QueuePressure` — a *typed* signal that callers act on (shed,
+refuse a submit) instead of letting the queue grow without bound.
+
+:class:`BackpressureError` is the online-facing half: the
+:class:`~repro.serving.server.TCBServer` raises it from ``submit`` when
+the bounded queue (or the degradation controller) refuses new work, so
+clients see an explicit retry-later signal rather than silently rising
+latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BackpressureError", "QueueLimits", "QueuePressure"]
+
+
+@dataclass(frozen=True)
+class QueueLimits:
+    """Capacity of the wait queue; ``None`` fields are unbounded.
+
+    ``max_tokens`` is the natural unit for a concat-batching system —
+    queue cost is token-shaped (Eq. 11's row capacity), so two short
+    requests pressure the queue as much as one long one.
+    ``max_requests`` guards against many tiny requests instead.
+    """
+
+    max_requests: Optional[int] = None
+    max_tokens: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_requests is not None and self.max_requests < 1:
+            raise ValueError(
+                f"max_requests must be >= 1, got {self.max_requests}"
+            )
+        if self.max_tokens is not None and self.max_tokens < 1:
+            raise ValueError(f"max_tokens must be >= 1, got {self.max_tokens}")
+
+    @property
+    def unbounded(self) -> bool:
+        return self.max_requests is None and self.max_tokens is None
+
+
+@dataclass(frozen=True)
+class QueuePressure:
+    """One reading of queue occupancy against its limits."""
+
+    queued_requests: int
+    queued_tokens: int
+    limits: QueueLimits
+
+    @property
+    def excess_requests(self) -> int:
+        cap = self.limits.max_requests
+        return 0 if cap is None else max(0, self.queued_requests - cap)
+
+    @property
+    def excess_tokens(self) -> int:
+        cap = self.limits.max_tokens
+        return 0 if cap is None else max(0, self.queued_tokens - cap)
+
+    @property
+    def overloaded(self) -> bool:
+        return self.excess_requests > 0 or self.excess_tokens > 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.queued_requests} requests / {self.queued_tokens} tokens "
+            f"queued (limits: {self.limits.max_requests} requests / "
+            f"{self.limits.max_tokens} tokens)"
+        )
+
+
+class BackpressureError(RuntimeError):
+    """The serving system refused new work; retry later.
+
+    Carries the :class:`QueuePressure` reading (when the refusal came
+    from a full queue) and a machine-readable ``reason``.
+    """
+
+    def __init__(
+        self, reason: str, pressure: Optional[QueuePressure] = None
+    ):
+        detail = f": {pressure.describe()}" if pressure is not None else ""
+        super().__init__(f"backpressure ({reason}){detail}")
+        self.reason = reason
+        self.pressure = pressure

@@ -1,0 +1,76 @@
+"""Metrics-ledger helpers — the only sanctioned shed/drop call sites.
+
+The conservation invariant ``served + expired + rejected + abandoned ==
+arrived`` only survives load shedding if every removal from the wait
+queue lands in exactly one terminal ledger *and* one trace terminal.
+These helpers are the single place that does all three bookkeeping
+steps together; tcblint rule TCB008 bans bare ``queue.drop`` /
+``queue.take`` call sites (and direct ``_waiting`` splices) everywhere
+else in ``repro/serving/``, ``repro/scheduling/queue.py`` and
+``repro/overload/``, so a shed can never silently lose a request.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.obs.recorder import NO_TRACE
+from repro.scheduling.queue import RequestQueue
+from repro.types import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.serving.metrics import ServingMetrics
+
+__all__ = ["drop_unservable", "shed_requests"]
+
+
+def shed_requests(
+    queue: RequestQueue,
+    metrics: "ServingMetrics",
+    victims: Sequence[Request],
+    now: float,
+    tracer=NO_TRACE,
+    *,
+    policy: str = "",
+    reason: str = "queue-pressure",
+) -> list[Request]:
+    """Shed *victims* from the wait queue as ``rejected``-class terminals.
+
+    Requests not (or no longer) in the queue are skipped, so the caller
+    may pass a stale victim list without double-counting.  Returns the
+    requests actually shed.
+    """
+    taken = queue.take(victims)
+    if not taken:
+        return []
+    metrics.rejected.extend(taken)
+    metrics.shed += len(taken)
+    if tracer.enabled:
+        for r in taken:
+            tracer.rejected(r, now)
+        tracer.overload(
+            now,
+            "shed",
+            count=len(taken),
+            tokens=sum(r.length for r in taken),
+            policy=policy,
+            reason=reason,
+        )
+    return taken
+
+
+def drop_unservable(
+    queue: RequestQueue,
+    requests: Sequence[Request],
+    now: float,
+    tracer=NO_TRACE,
+) -> None:
+    """Drop structurally unservable requests (longer than a batch row).
+
+    They count as ``expired``-class failures — same ledger as deadline
+    expiry — because no amount of waiting could have served them
+    (Eq. 11's row capacity).
+    """
+    queue.drop(requests)
+    if tracer.enabled:
+        tracer.expired(requests, now)

@@ -15,9 +15,12 @@ checks.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.types import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overload.backpressure import QueueLimits, QueuePressure
 
 __all__ = ["RequestQueue"]
 
@@ -32,14 +35,23 @@ class RequestQueue:
         self.served_ids: set[int] = set()
         # request_id -> number of failed serve attempts (retry budget).
         self.attempts: dict[int, int] = {}
+        # Incremental sum of waiting request lengths; kept in lockstep
+        # with _waiting so pressure() is O(1) per scheduling step.
+        self._queued_tokens = 0
 
     def __len__(self) -> int:
         return len(self._waiting)
+
+    @property
+    def queued_tokens(self) -> int:
+        """Total prompt tokens currently waiting."""
+        return self._queued_tokens
 
     def add(self, request: Request) -> None:
         if request.request_id in self._waiting or request.request_id in self.served_ids:
             raise ValueError(f"duplicate request id {request.request_id}")
         self._waiting[request.request_id] = request
+        self._queued_tokens += request.length
 
     def extend(self, requests: Iterable[Request]) -> None:
         for r in requests:
@@ -54,6 +66,7 @@ class RequestQueue:
         dead = [r for r in self._waiting.values() if r.deadline < now]
         for r in dead:
             del self._waiting[r.request_id]
+            self._queued_tokens -= r.length
         self.expired.extend(dead)
         return dead
 
@@ -70,13 +83,33 @@ class RequestQueue:
         for r in requests:
             if r.request_id in self._waiting:
                 del self._waiting[r.request_id]
+                self._queued_tokens -= r.length
                 self.expired.append(r)
+
+    def take(self, requests: Sequence[Request]) -> list[Request]:
+        """Remove requests from the wait queue *without* a ledger entry.
+
+        The caller owns terminal accounting — which is exactly why bare
+        call sites are banned (tcblint TCB008): only the overload
+        ledger's :func:`~repro.overload.ledger.shed_requests` may call
+        this, and it immediately records every taken request as a
+        ``rejected``-class terminal.  Requests no longer waiting are
+        skipped; returns the requests actually removed.
+        """
+        taken: list[Request] = []
+        for r in requests:
+            if r.request_id in self._waiting:
+                del self._waiting[r.request_id]
+                self._queued_tokens -= r.length
+                taken.append(r)
+        return taken
 
     def remove_served(self, requests: Sequence[Request]) -> None:
         for r in requests:
             if r.request_id not in self._waiting:
                 raise KeyError(f"request {r.request_id} not in queue")
             del self._waiting[r.request_id]
+            self._queued_tokens -= r.length
             self.served_ids.add(r.request_id)
 
     # ------------------------------------------------------------------ #
@@ -96,7 +129,8 @@ class RequestQueue:
         deadline expiry.
         """
         for r in requests:
-            self._waiting.pop(r.request_id, None)
+            if self._waiting.pop(r.request_id, None) is not None:
+                self._queued_tokens -= r.length
             self.abandoned.append(r)
 
     def requeue(self, requests: Sequence[Request]) -> None:
@@ -111,3 +145,30 @@ class RequestQueue:
             self.served_ids.discard(r.request_id)
             if r.request_id not in self._waiting:
                 self._waiting[r.request_id] = r
+                self._queued_tokens += r.length
+
+    # ------------------------------------------------------------------ #
+    # Overload signals
+    # ------------------------------------------------------------------ #
+
+    def pressure(self, limits: "QueueLimits") -> "QueuePressure":
+        """Current occupancy lowered against *limits* (typed backpressure)."""
+        from repro.overload.backpressure import QueuePressure
+
+        return QueuePressure(
+            queued_requests=len(self._waiting),
+            queued_tokens=self._queued_tokens,
+            limits=limits,
+        )
+
+    def queue_delay(self, now: float) -> float:
+        """Age of the oldest waiting request (0.0 when empty).
+
+        The degradation controller's primary signal: under sustained
+        overload head-of-line age grows without bound long before
+        utilisation metrics look alarming.
+        """
+        if not self._waiting:
+            return 0.0
+        oldest = min(r.arrival for r in self._waiting.values())
+        return max(0.0, now - oldest)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.engine.base import InferenceEngine
+from repro.overload.ledger import drop_unservable
 from repro.scheduling.base import Scheduler
 from repro.scheduling.queue import RequestQueue
 from repro.serving.common import MIN_SLOT, apply_slot_size, resolve_workload
@@ -149,7 +150,7 @@ class AutoscalingSimulator:
                     r for r in waiting if r.length > self.scheduler.batch.row_length
                 ]
                 if unservable:
-                    queue.drop(unservable)
+                    drop_unservable(queue, unservable, now)
                     heapq.heappush(idle, (now, engine_id, engine_id))
                 elif next_arrival < n:
                     heapq.heappush(

@@ -29,6 +29,8 @@ from typing import Iterable, Optional, Sequence
 from repro.engine.base import InferenceEngine
 from repro.faults.recovery import RetryPolicy, requeue_failed, serve_slot
 from repro.obs.recorder import NO_TRACE, Tracer
+from repro.overload.controller import OverloadController
+from repro.overload.ledger import drop_unservable
 from repro.scheduling.base import Scheduler
 from repro.scheduling.queue import RequestQueue
 from repro.serving.admission import AdmissionController
@@ -52,6 +54,7 @@ class ClusterSimulator:
         admission: Optional[AdmissionController] = None,
         retry: Optional[RetryPolicy] = None,
         trace: Optional[Tracer] = None,
+        overload: Optional[OverloadController] = None,
     ):
         if not engines:
             raise ValueError("need at least one engine")
@@ -60,6 +63,10 @@ class ClusterSimulator:
         self.admission = admission
         self.retry = retry or RetryPolicy()
         self.trace = trace
+        # Overload plane (off by default); breakers are per engine
+        # index, so a sick replica is quarantined while the rest of the
+        # cluster keeps draining the shared queue.
+        self.overload = overload
 
     def _release(self, requests: Iterable[Request]) -> None:
         if self.admission is not None:
@@ -85,6 +92,9 @@ class ClusterSimulator:
         metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
         result = SimulationResult(metrics=metrics)
         queue = RequestQueue()
+        ov = self.overload
+        if ov is not None:
+            ov.begin_run()
         rejected_before = (
             len(self.admission.rejected) if self.admission is not None else 0
         )
@@ -104,6 +114,14 @@ class ClusterSimulator:
             while next_arrival < n and requests[next_arrival].arrival <= now:
                 r = requests[next_arrival]
                 if self.admission is None or self.admission.admit(r, r.arrival):
+                    if ov is not None and not ov.admit(r, r.arrival):
+                        self._release([r])
+                        metrics.rejected.append(r)
+                        if tr.enabled:
+                            tr.arrive(r, r.arrival)
+                            tr.rejected(r, r.arrival)
+                        next_arrival += 1
+                        continue
                     queue.add(r)
                     if tr.enabled:
                         tr.arrive(r, r.arrival)
@@ -116,6 +134,11 @@ class ClusterSimulator:
             if tr.enabled:
                 tr.expired(dead, now)
             self._release(dead)
+            if ov is not None:
+                ov.observe_outcomes(missed=len(dead))
+                ov.update(now, queue, tr)
+                shed = ov.maybe_shed(queue, metrics, now, tr)
+                self._release(shed)
             waiting = queue.waiting(now)
             if not waiting:
                 if next_arrival < n:
@@ -136,6 +159,15 @@ class ClusterSimulator:
                     heapq.heappush(
                         idle, (wake, len(self.engines) + engine_idx, engine_idx)
                     )
+                continue
+
+            if ov is not None and not ov.breaker_allow(engine_idx, now, tr):
+                # Breaker open: quarantine this engine until its
+                # recovery interval elapses; the rest of the cluster
+                # keeps draining the queue in the meantime.
+                retry_at = ov.breaker_retry_at(engine_idx)
+                if retry_at < horizon:
+                    heapq.heappush(idle, (retry_at, engine_idx, engine_idx))
                 continue
 
             decision = self.scheduler.select(waiting, now)
@@ -164,9 +196,7 @@ class ClusterSimulator:
                     if r.length > self.scheduler.batch.row_length
                 ]
                 if unservable:
-                    queue.drop(unservable)
-                    if tr.enabled:
-                        tr.expired(unservable, now)
+                    drop_unservable(queue, unservable, now, tr)
                     self._release(unservable)
                     heapq.heappush(idle, (now, engine_idx, engine_idx))
                 elif next_arrival < n:
@@ -188,12 +218,22 @@ class ClusterSimulator:
                         )
                 continue
 
+            if ov is not None:
+                selected = ov.cap_batch(selected)
             if tr.enabled:
                 tr.scheduled(selected, now)
             outcome = serve_slot(engine, selected, now)
             metrics.failed_batches += outcome.failures
             metrics.retries += outcome.split_retries
             metrics.total_engine_time += outcome.wasted
+            if ov is not None:
+                ov.record_result(
+                    engine_idx,
+                    now + outcome.wasted,
+                    ok=outcome.result is not None,
+                    kind="crash" if outcome.down_until is not None else "failure",
+                    tracer=tr,
+                )
             if tr.enabled and outcome.failures:
                 tr.batch(
                     now,
@@ -226,6 +266,8 @@ class ClusterSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if ov is not None:
+                    ov.observe_outcomes(missed=len(lost))
                 heapq.heappush(
                     idle, (outcome.down_until, engine_idx, engine_idx)
                 )
@@ -239,6 +281,8 @@ class ClusterSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if ov is not None:
+                    ov.observe_outcomes(missed=len(lost))
                 heapq.heappush(
                     idle, (now + outcome.wasted, engine_idx, engine_idx)
                 )
@@ -278,6 +322,14 @@ class ClusterSimulator:
                 tr.served(batch_result.served, finish)
             queue.remove_served(batch_result.served)
             self._release(batch_result.served)
+            if ov is not None:
+                on_time = sum(
+                    1 for r in batch_result.served if finish <= r.deadline
+                )
+                ov.observe_outcomes(
+                    served=on_time,
+                    missed=len(batch_result.served) - on_time,
+                )
             for r in batch_result.served:
                 metrics.finish_times[r.request_id] = (r.arrival, finish)
             metrics.served.extend(batch_result.served)

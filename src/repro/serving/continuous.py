@@ -43,6 +43,7 @@ from repro.engine.cost_model import GPUCostModel
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.faults.recovery import RetryPolicy, requeue_failed
 from repro.obs.recorder import NO_TRACE, Tracer
+from repro.overload.controller import OverloadController
 from repro.rng import ensure_rng
 from repro.scheduling.queue import RequestQueue
 from repro.serving.common import resolve_workload
@@ -76,6 +77,7 @@ class ContinuousBatchingSimulator:
         fault_plan: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         trace: Optional[Tracer] = None,
+        overload: Optional[OverloadController] = None,
     ):
         if mean_output_tokens < 1:
             raise ValueError("mean_output_tokens must be >= 1")
@@ -93,6 +95,9 @@ class ContinuousBatchingSimulator:
         self.fault_plan = fault_plan
         self.retry = retry or RetryPolicy()
         self.trace = trace
+        # Overload plane (off by default): bounded wait queue + shedding,
+        # brownout token-budget shrink, breaker over iteration faults.
+        self.overload = overload
 
     def _event(self, iteration: int) -> FaultEvent:
         if self.fault_plan is None or self.fault_plan.config.is_zero:
@@ -118,6 +123,9 @@ class ContinuousBatchingSimulator:
         tr = self.trace if self.trace is not None else NO_TRACE
         metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
         queue = RequestQueue()
+        ov = self.overload
+        if ov is not None:
+            ov.begin_run()
         running: list[_Running] = []
         budget = self.batch.capacity_tokens
         key = self._admission_key()
@@ -128,8 +136,20 @@ class ContinuousBatchingSimulator:
         n = len(requests)
 
         while now < horizon:
+            if ov is not None and not ov.breaker_allow(0, now, tr):
+                # Breaker open: no iterations (decode or prefill) until
+                # the recovery interval elapses; jump the clock there.
+                now = min(ov.breaker_retry_at(0), horizon)
+                continue
             while next_arrival < n and requests[next_arrival].arrival <= now:
                 r = requests[next_arrival]
+                if ov is not None and not ov.admit(r, r.arrival):
+                    metrics.rejected.append(r)
+                    if tr.enabled:
+                        tr.arrive(r, r.arrival)
+                        tr.rejected(r, r.arrival)
+                    next_arrival += 1
+                    continue
                 queue.add(r)
                 if tr.enabled:
                     tr.arrive(r, r.arrival)
@@ -138,15 +158,20 @@ class ContinuousBatchingSimulator:
             dead = queue.expire(now)
             if tr.enabled:
                 tr.expired(dead, now)
+            if ov is not None:
+                ov.observe_outcomes(missed=len(dead))
+                ov.update(now, queue, tr)
+                ov.maybe_shed(queue, metrics, now, tr)
 
-            # Admit while there is token budget.
+            # Admit while there is token budget (shrunk under brownout).
+            iter_budget = budget if ov is None else ov.scale_budget(budget)
             used = sum(r.request.length for r in running)
             waiting = sorted(queue.waiting(now), key=key)
             admitted: list[Request] = []
             for req in waiting:
                 if req.length > self.batch.row_length:
                     continue
-                if used + req.length > budget:
+                if used + req.length > iter_budget:
                     if self.admission == "fcfs":
                         break  # head-of-line blocking, true to FCFS
                     continue
@@ -194,6 +219,9 @@ class ContinuousBatchingSimulator:
                 if tr.enabled:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
+                if ov is not None:
+                    ov.observe_outcomes(missed=len(lost))
+                    ov.record_result(0, now, ok=False, kind="crash", tracer=tr)
                 continue
             if event.kind is FaultKind.OOM:
                 # Transient alloc failure: evict the newest half of the
@@ -219,6 +247,9 @@ class ContinuousBatchingSimulator:
                 if tr.enabled:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
+                if ov is not None:
+                    ov.observe_outcomes(missed=len(lost))
+                    ov.record_result(0, now, ok=False, kind="oom", tracer=tr)
                 continue
 
             # One fused iteration (Orca's selective batching): a decode
@@ -253,8 +284,14 @@ class ContinuousBatchingSimulator:
                 # The iteration ran but its outputs were lost: no decode
                 # progress, the step time is wasted, residents stay put.
                 metrics.failed_batches += 1
+                if ov is not None:
+                    ov.record_result(
+                        0, now, ok=False, kind="failure", tracer=tr
+                    )
                 continue
             metrics.num_batches += 1  # one iteration
+            if ov is not None:
+                ov.record_result(0, now, ok=True, tracer=tr)
 
             still: list[_Running] = []
             finished: list[Request] = []
@@ -272,6 +309,11 @@ class ContinuousBatchingSimulator:
             running = still
             if tr.enabled and finished:
                 tr.served(finished, now)
+            if ov is not None and finished:
+                on_time = sum(1 for r in finished if now <= r.deadline)
+                ov.observe_outcomes(
+                    served=on_time, missed=len(finished) - on_time
+                )
 
         # Unfinished residents at the horizon still produced no response.
         for r in running:

@@ -42,6 +42,10 @@ class ServingMetrics:
     failed_batches: int = 0
     # Total simulated seconds engines spent in crash recovery.
     downtime: float = 0.0
+    # ---- overload accounting ----------------------------------------- #
+    # How many of `rejected` were shed *after* queueing (load shedding),
+    # as opposed to refused at arrival by the admission controller.
+    shed: int = 0
 
     # ------------------------------------------------------------------ #
 
@@ -103,6 +107,31 @@ class ServingMetrics:
             )
 
     @property
+    def num_on_time(self) -> int:
+        """Served responses that finished by their deadline."""
+        count = 0
+        for r in self.served:
+            window = self.finish_times.get(r.request_id)
+            if window is None or window[1] <= r.deadline:
+                count += 1
+        return count
+
+    @property
+    def goodput_utility(self) -> float:
+        """Σ v_n over *on-time* responses — the overload-plane objective.
+
+        Under overload a FIFO policy keeps "serving" requests whose
+        deadlines already passed; ``total_utility`` hides that collapse,
+        this does not.
+        """
+        total = 0.0
+        for r in self.served:
+            window = self.finish_times.get(r.request_id)
+            if window is None or window[1] <= r.deadline:
+                total += r.utility
+        return float(total)
+
+    @property
     def mean_latency(self) -> float:
         if not self.finish_times:
             return 0.0
@@ -139,6 +168,9 @@ class ServingMetrics:
             "expired": float(self.num_expired),
             "rejected": float(self.num_rejected),
             "abandoned": float(self.num_abandoned),
+            "shed": float(self.shed),
+            "on_time": float(self.num_on_time),
+            "goodput": self.goodput_utility,
             "retries": float(self.retries),
             "failed_batches": float(self.failed_batches),
             "downtime": self.downtime,

@@ -6,6 +6,16 @@ them, and each ``step()`` runs one scheduler+engine slot, returning
 finished responses.  This is the component a deployment would put behind
 an RPC layer; the discrete-event :class:`ServingSimulator` exists for
 paper-scale sweeps where real execution is too slow.
+
+Overload management (``docs/overload.md``): with an
+:class:`~repro.serving.admission.AdmissionController` and/or an
+:class:`~repro.overload.controller.OverloadController`, ``submit``
+raises :class:`~repro.overload.backpressure.BackpressureError` instead
+of queueing doomed work — an explicit retry-later signal — and each
+``step`` runs the degradation controller and load shedder before
+scheduling.  Every outcome lands in the server's
+:class:`~repro.serving.metrics.ServingMetrics` ledger, whose
+conservation invariant holds once the queue is drained.
 """
 
 from __future__ import annotations
@@ -21,12 +31,28 @@ from repro.config import BatchConfig, ModelConfig, SchedulerConfig
 from repro.core.layout import BatchLayout
 from repro.core.packing import pack_in_order
 from repro.model.seq2seq import Seq2SeqModel
+from repro.overload.backpressure import BackpressureError
+from repro.overload.controller import OverloadController
 from repro.scheduling.base import Scheduler
 from repro.scheduling.das import DASScheduler
 from repro.scheduling.queue import RequestQueue
+from repro.serving.admission import AdmissionController
+from repro.serving.metrics import ServingMetrics
 from repro.types import Request
 
-__all__ = ["TCBServer", "Response"]
+__all__ = ["TCBServer", "Response", "DrainExhausted"]
+
+
+class DrainExhausted(RuntimeError):
+    """``run_until_drained`` hit its step budget with work still queued."""
+
+    def __init__(self, pending: int, max_steps: int):
+        super().__init__(
+            f"queue not drained after {max_steps} steps "
+            f"({pending} requests still pending)"
+        )
+        self.pending = pending
+        self.max_steps = max_steps
 
 
 @dataclass
@@ -53,6 +79,8 @@ class TCBServer:
         seed: int = 0,
         max_new_tokens: int = 8,
         default_slack: float = 60.0,
+        admission: Optional[AdmissionController] = None,
+        overload: Optional[OverloadController] = None,
     ):
         self.model_config = model_config or ModelConfig.tiny()
         self.batch = batch or BatchConfig(num_rows=4, row_length=32)
@@ -64,10 +92,17 @@ class TCBServer:
         self.model = Seq2SeqModel(self.model_config, seed=seed)
         self.max_new_tokens = max_new_tokens
         self.default_slack = default_slack
+        self.admission = admission
+        self.overload = overload
+        # Online ledger: arrived counts every submit() (including
+        # refused ones); conservation holds once the queue drains.
+        self.metrics = ServingMetrics()
         self._queue = RequestQueue()
         self._ids = itertools.count()
         self._submit_times: dict[int, float] = {}
         self._responses: dict[int, Response] = {}
+        # True when the last run_until_drained() hit its step budget.
+        self.drain_exhausted = False
         # TCBServer is the *online* facade: unlike the discrete-event
         # simulators, its clock really is wall-clock.
         self._t0 = time.perf_counter()  # tcblint: disable=TCB003
@@ -98,14 +133,51 @@ class TCBServer:
             deadline=now + slack,
             tokens=tuple(int(t) for t in tokens),
         )
+        self.metrics.arrived += 1
+        ov = self.overload
+        if ov is not None and not ov.config.limits.unbounded:
+            pressure = self._queue.pressure(ov.config.limits)
+            limits = ov.config.limits
+            if (
+                limits.max_requests is not None
+                and pressure.queued_requests + 1 > limits.max_requests
+            ) or (
+                limits.max_tokens is not None
+                and pressure.queued_tokens + req.length > limits.max_tokens
+            ):
+                self.metrics.rejected.append(req)
+                raise BackpressureError("queue-full", pressure)
+        if self.admission is not None and not self.admission.admit(req, now):
+            reason = self.admission.check(req, now).reason
+            self.metrics.rejected.append(req)
+            raise BackpressureError(f"admission: {reason}")
+        if ov is not None and not ov.admit(req, now):
+            if self.admission is not None:
+                self.admission.release([req])
+            self.metrics.rejected.append(req)
+            raise BackpressureError(f"degraded ({ov.level.label})")
         self._queue.add(req)
         self._submit_times[rid] = now
         return rid
 
+    def _release(self, requests: Sequence[Request]) -> None:
+        if self.admission is not None:
+            self.admission.release(list(requests))
+
     def step(self) -> list[Response]:
         """Run one engine slot; returns responses finished this step."""
         now = self._now()
-        self._queue.expire(now)
+        ov = self.overload
+        dead = self._queue.expire(now)
+        self.metrics.expired.extend(dead)
+        self._release(dead)
+        if ov is not None:
+            ov.observe_outcomes(missed=len(dead))
+            ov.update(now, self._queue)
+            shed = ov.maybe_shed(self._queue, self.metrics, now)
+            self._release(shed)
+            if not ov.breaker_allow(0, now):
+                return []
         waiting = self._queue.waiting(now)
         if not waiting:
             return []
@@ -113,13 +185,30 @@ class TCBServer:
         selected = decision.selected()
         if not selected:
             return []
+        if ov is not None:
+            selected = ov.cap_batch(selected)
         packing = pack_in_order(
             selected, self.batch.num_rows, self.batch.row_length
         )
         layout = packing.layout
         gen = self.model.greedy_decode(layout, max_new_tokens=self.max_new_tokens)
         self._queue.remove_served(packing.packed)
+        self._release(packing.packed)
         finished_at = self._now()
+        if ov is not None:
+            ov.record_result(0, finished_at, ok=True)
+            on_time = sum(
+                1 for r in packing.packed if finished_at <= r.deadline
+            )
+            ov.observe_outcomes(
+                served=on_time, missed=len(packing.packed) - on_time
+            )
+        self.metrics.served.extend(packing.packed)
+        for req in packing.packed:
+            self.metrics.finish_times[req.request_id] = (
+                req.arrival, finished_at,
+            )
+        self.metrics.num_batches += 1
         out: list[Response] = []
         for req in packing.packed:
             resp = Response(
@@ -136,16 +225,30 @@ class TCBServer:
         """Fetch a finished response (None while pending)."""
         return self._responses.get(request_id)
 
-    def run_until_drained(self, max_steps: int = 1000) -> list[Response]:
-        """Keep stepping until the queue is empty; returns all responses."""
+    def run_until_drained(
+        self, max_steps: int = 1000, *, on_exhausted: str = "raise"
+    ) -> list[Response]:
+        """Keep stepping until the queue is empty; returns all responses.
+
+        If the queue is still non-empty after ``max_steps`` the drain is
+        *exhausted* — previously that returned a silently-partial result.
+        Now it raises :class:`DrainExhausted` (default) or, with
+        ``on_exhausted="return"``, returns the partial responses with the
+        exhaustion recorded in :attr:`drain_exhausted`.
+        """
+        if on_exhausted not in ("raise", "return"):
+            raise ValueError(f"unknown on_exhausted mode {on_exhausted!r}")
+        self.drain_exhausted = False
         all_out: list[Response] = []
         for _ in range(max_steps):
             if not len(self._queue):
-                break
+                return all_out
             out = self.step()
             all_out.extend(out)
-            if not out and not len(self._queue):
-                break
+        if len(self._queue):
+            self.drain_exhausted = True
+            if on_exhausted == "raise":
+                raise DrainExhausted(len(self._queue), max_steps)
         return all_out
 
     @property

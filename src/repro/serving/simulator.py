@@ -29,6 +29,8 @@ from typing import Iterable, Optional, Sequence
 from repro.engine.base import BatchResult, InferenceEngine
 from repro.faults.recovery import RetryPolicy, requeue_failed, serve_slot
 from repro.obs.recorder import NO_TRACE, Tracer
+from repro.overload.controller import OverloadController
+from repro.overload.ledger import drop_unservable
 from repro.scheduling.base import Scheduler, SchedulingDecision
 from repro.scheduling.queue import RequestQueue
 from repro.serving.admission import AdmissionController
@@ -61,6 +63,7 @@ class ServingSimulator:
         admission: Optional[AdmissionController] = None,
         retry: Optional[RetryPolicy] = None,
         trace: Optional[Tracer] = None,
+        overload: Optional[OverloadController] = None,
     ):
         self.scheduler = scheduler
         self.engine = engine
@@ -71,6 +74,10 @@ class ServingSimulator:
         # back to the no-op recorder, so every emission site costs one
         # `enabled` attribute lookup when disabled.
         self.trace = trace
+        # Overload management (bounded queue + shedding, degradation,
+        # circuit breaker) is off by default: without a controller the
+        # loop takes exactly its pre-overload paths.
+        self.overload = overload
 
     def _release(self, requests: Iterable[Request]) -> None:
         """Tell the admission controller requests left the queue."""
@@ -90,6 +97,9 @@ class ServingSimulator:
         metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
         result = SimulationResult(metrics=metrics)
         queue = RequestQueue()
+        ov = self.overload
+        if ov is not None:
+            ov.begin_run()
         # A controller may be shared across runs; only this run's
         # rejections belong in this run's metrics.
         rejected_before = (
@@ -105,6 +115,17 @@ class ServingSimulator:
             while next_arrival < n and requests[next_arrival].arrival <= now:
                 r = requests[next_arrival]
                 if self.admission is None or self.admission.admit(r, r.arrival):
+                    if ov is not None and not ov.admit(r, r.arrival):
+                        # Degradation-tightened admission: an explicit
+                        # rejected-class terminal, and any tokens the
+                        # admission controller reserved are given back.
+                        self._release([r])
+                        metrics.rejected.append(r)
+                        if tr.enabled:
+                            tr.arrive(r, r.arrival)
+                            tr.rejected(r, r.arrival)
+                        next_arrival += 1
+                        continue
                     queue.add(r)
                     if tr.enabled:
                         tr.arrive(r, r.arrival)
@@ -118,11 +139,23 @@ class ServingSimulator:
                 tr.expired(dead, now)
             self._release(dead)
 
+            if ov is not None:
+                ov.observe_outcomes(missed=len(dead))
+                ov.update(now, queue, tr)
+                shed = ov.maybe_shed(queue, metrics, now, tr)
+                self._release(shed)
+
             waiting = queue.waiting(now)
             if not waiting:
                 if next_arrival >= n:
                     break  # Nothing left to serve.
                 now = requests[next_arrival].arrival
+                continue
+
+            if ov is not None and not ov.breaker_allow(0, now, tr):
+                # Breaker open: with a single engine nothing can run
+                # before the recovery interval elapses; jump there.
+                now = min(ov.breaker_retry_at(0), horizon)
                 continue
 
             decision = self.scheduler.select(waiting, now)
@@ -151,9 +184,7 @@ class ServingSimulator:
                     if r.length > self.scheduler.batch.row_length
                 ]
                 if unservable:
-                    queue.drop(unservable)
-                    if tr.enabled:
-                        tr.expired(unservable, now)
+                    drop_unservable(queue, unservable, now, tr)
                     self._release(unservable)
                     continue
                 if next_arrival >= n:
@@ -161,6 +192,8 @@ class ServingSimulator:
                 now = requests[next_arrival].arrival
                 continue
 
+            if ov is not None:
+                selected = ov.cap_batch(selected)
             if tr.enabled:
                 tr.scheduled(selected, now)
             outcome = serve_slot(self.engine, selected, now)
@@ -177,6 +210,14 @@ class ServingSimulator:
                     num_requests=len(selected),
                 )
             now += outcome.wasted
+            if ov is not None:
+                ov.record_result(
+                    0,
+                    now,
+                    ok=outcome.result is not None,
+                    kind="crash" if outcome.down_until is not None else "failure",
+                    tracer=tr,
+                )
 
             if outcome.down_until is not None:
                 # Engine crashed: with a single engine nothing can be
@@ -199,6 +240,8 @@ class ServingSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if ov is not None:
+                    ov.observe_outcomes(missed=len(lost))
                 now = max(now, outcome.down_until)
                 continue
             if outcome.result is None:
@@ -216,6 +259,8 @@ class ServingSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if ov is not None:
+                    ov.observe_outcomes(missed=len(lost))
                 continue
 
             batch_result = outcome.result
@@ -250,6 +295,14 @@ class ServingSimulator:
 
             queue.remove_served(batch_result.served)
             self._release(batch_result.served)
+            if ov is not None:
+                on_time = sum(
+                    1 for r in batch_result.served if finish <= r.deadline
+                )
+                ov.observe_outcomes(
+                    served=on_time,
+                    missed=len(batch_result.served) - on_time,
+                )
             for r in batch_result.served:
                 metrics.finish_times[r.request_id] = (r.arrival, finish)
             metrics.served.extend(batch_result.served)

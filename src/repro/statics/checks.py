@@ -1,4 +1,4 @@
-"""The seven tcblint rules (TCB001–TCB007).
+"""The eight tcblint rules (TCB001–TCB008).
 
 Each rule protects one cross-cutting invariant of the reproduction;
 ``docs/statics.md`` ties every rule to the paper equation or
@@ -158,7 +158,7 @@ class SimTimePurity(Rule):
     title = "wall-clock read in simulator code"
     severity = Severity.ERROR
 
-    _SCOPE = ("repro/serving/", "repro/scheduling/", "repro/obs/")
+    _SCOPE = ("repro/serving/", "repro/scheduling/", "repro/obs/", "repro/overload/")
     _BANNED = frozenset(
         {
             "time.time",
@@ -382,6 +382,64 @@ class SwallowedExceptions(Rule):
                 )
 
 
+class LedgeredDrops(Rule):
+    """TCB008 — queue removals route through the conservation ledger."""
+
+    rule_id = "TCB008"
+    title = "unledgered queue drop/shed"
+    severity = Severity.ERROR
+
+    # The conservation invariant (served + expired + rejected +
+    # abandoned == arrived) only survives load shedding if every queue
+    # removal lands in exactly one metrics ledger and one trace
+    # terminal.  repro.overload.ledger is the single sanctioned caller
+    # (policy-exempted); everywhere in these trees, bare ``.drop()`` /
+    # ``.take()`` call sites and splices of another object's
+    # ``_waiting`` dict are banned.
+    _SCOPE = ("repro/serving/", "repro/scheduling/queue.py", "repro/overload/")
+    _LEDGER_METHODS = frozenset({"drop", "take"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.path.startswith(self._SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._LEDGER_METHODS
+                # The queue's own methods may do their internal
+                # bookkeeping; only *callers* must go through the ledger.
+                and not (
+                    isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                )
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"bare queue .{node.func.attr}() call site; route the "
+                    "removal through repro.overload.ledger "
+                    "(shed_requests / drop_unservable) so the shed lands in "
+                    "a metrics ledger and a trace terminal — otherwise the "
+                    "conservation invariant silently loses requests",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "_waiting"
+                and not (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                )
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "reaching into another object's _waiting dict bypasses "
+                    "the queue's ledger accounting; use RequestQueue's API "
+                    "(and repro.overload.ledger for removals) instead",
+                )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     MaskDiscipline(),
     GlobalRngBan(),
@@ -390,6 +448,7 @@ ALL_RULES: tuple[Rule, ...] = (
     MutableDefaults(),
     QuadraticAllocation(),
     SwallowedExceptions(),
+    LedgeredDrops(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {r.rule_id: r for r in ALL_RULES}

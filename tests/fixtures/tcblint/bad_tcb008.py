@@ -1,0 +1,39 @@
+"""Known-bad fixture: unledgered queue removals (TCB008).
+
+Linted under a synthetic ``repro/serving/...`` path so the rule's
+path scoping applies.
+"""
+
+
+def bare_drop(queue, unservable):
+    queue.drop(unservable)  # line 9: removal with no ledger entry
+
+
+def bare_take(queue, victims):
+    return queue.take(victims)  # line 13: ledgerless shed
+
+
+def waiting_splice(queue, rid):
+    del queue._waiting[rid]  # line 17: bypasses all queue accounting
+
+
+def reads_count_too(queue):
+    return len(queue._waiting)  # line 21: even reads stay behind the API
+
+
+class FakeQueue:
+    def __init__(self):
+        self._waiting = {}  # line 26: own attribute, fine
+
+    def drop(self, requests):
+        for r in requests:
+            self._waiting.pop(r, None)  # self._waiting is fine
+
+    def helper(self):
+        return self.drop([])  # self.drop() is internal bookkeeping, fine
+
+
+def ledgered_is_fine(queue, metrics, victims, now):
+    from repro.overload.ledger import shed_requests
+
+    return shed_requests(queue, metrics, victims, now)

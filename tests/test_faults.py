@@ -370,3 +370,95 @@ class TestNoFaultEquivalence:
         assert m.retries == 0
         assert m.downtime == 0.0
         assert m.conservation_ok
+
+
+class TestBreakerFaultComposition:
+    """The circuit breaker (PR 4) composes with the fault plane (PR 2):
+    typed fault outcomes drive the breaker, the breaker gates dispatch,
+    and the conservation ledger stays exact throughout."""
+
+    def _controller(self, threshold=2, recovery=0.3):
+        from repro.overload import (
+            BreakerConfig,
+            OverloadConfig,
+            OverloadController,
+        )
+
+        return OverloadController(
+            OverloadConfig(
+                breaker=BreakerConfig(
+                    failure_threshold=threshold, recovery_time=recovery
+                )
+            )
+        )
+
+    def test_certain_failure_trips_breaker_without_livelock(self):
+        """failure_rate=1 with a breaker: the run must still terminate,
+        with the breaker open and the books balanced."""
+        ov = self._controller()
+        plan = FaultPlan(FaultConfig(failure_rate=1.0), seed=0)
+        sim = ServingSimulator(
+            FCFSScheduler(_batch()),
+            FaultyEngine(ConcatEngine(_batch()), plan),
+            overload=ov,
+        )
+        m = sim.run(_workload()).metrics
+        assert m.num_served == 0
+        assert m.conservation_ok
+        trips = [
+            t for t in ov.transition_log() if t[0] == "breaker" and t[4] == "open"
+        ]
+        assert trips, "certain failure must trip the breaker"
+        # Quarantine means far fewer wasted batches than breaker-less
+        # certain failure (every probe re-opens immediately).
+        bare = ServingSimulator(
+            FCFSScheduler(_batch()),
+            FaultyEngine(ConcatEngine(_batch()), FaultPlan(FaultConfig(failure_rate=1.0), seed=0)),
+        ).run(_workload()).metrics
+        assert m.failed_batches < bare.failed_batches
+
+    def test_cluster_breaker_quarantines_sick_engine(self):
+        """One healthy + one crash-prone engine: per-engine breakers
+        trip only the sick engine's, and the cluster keeps serving."""
+        ov = self._controller(threshold=1, recovery=0.5)
+        crashy = FaultConfig(crash_rate=0.8, downtime=0.3)
+        engines = [
+            ConcatEngine(_batch()),
+            FaultyEngine(ConcatEngine(_batch()), FaultPlan(crashy, seed=4)),
+        ]
+        sim = ClusterSimulator(FCFSScheduler(_batch()), engines, overload=ov)
+        m = sim.run(_workload(rate=300.0)).metrics
+        assert m.conservation_ok
+        assert m.num_served > 0
+        tripped = {t[2] for t in ov.transition_log() if t[0] == "breaker"}
+        assert tripped == {1}, "only the crash-prone engine may trip"
+
+    def test_continuous_breaker_composes_with_fault_plan(self):
+        ov = self._controller(threshold=1, recovery=0.2)
+        sim = ContinuousBatchingSimulator(
+            _batch(),
+            fault_plan=FaultPlan(
+                FaultConfig(failure_rate=0.5, crash_rate=0.2, downtime=0.2),
+                seed=3,
+            ),
+            seed=3,
+            overload=ov,
+        )
+        m = sim.run(_workload(seed=3))
+        assert m.conservation_ok
+        assert any(t[0] == "breaker" for t in ov.transition_log())
+
+    def test_breaker_preserves_fault_replay_determinism(self):
+        def run():
+            ov = self._controller()
+            plan = FaultPlan(FaultConfig.chaos(0.4, downtime=0.2), seed=8)
+            sim = ServingSimulator(
+                DASScheduler(_batch()),
+                FaultyEngine(ConcatEngine(_batch()), plan),
+                overload=ov,
+            )
+            summary = sim.run(_workload(seed=8)).metrics.summary()
+            summary.pop("sched_overhead")  # wall-clock (Fig. 16)
+            return summary, ov.transition_log()
+
+        assert run() == run()

@@ -26,6 +26,14 @@ from repro.faults.engine import FaultyEngine
 from repro.faults.plan import FaultConfig, FaultPlan
 from repro.obs.recorder import NO_TRACE, Tracer
 from repro.obs.spans import TERMINAL_KINDS, EventKind
+from repro.overload import (
+    BreakerConfig,
+    DegradationConfig,
+    OverloadConfig,
+    OverloadController,
+    QueueLimits,
+    make_shedder,
+)
 from repro.scheduling.das import DASScheduler
 from repro.scheduling.slotted_das import SlottedDASScheduler
 from repro.serving.admission import AdmissionController
@@ -47,6 +55,13 @@ SCENARIOS = [
     ("continuous", 0.0, 5),
     ("continuous", 0.3, 6),
     ("slotted", 0.2, 7),
+    # "+ov" runs the same loop with the full overload plane active
+    # (bounded queue + shedding + degradation + breaker) — combined
+    # overload and fault injection must keep every invariant exact.
+    ("single+ov", 0.0, 8),
+    ("single+ov", 0.3, 9),
+    ("cluster+ov", 0.25, 10),
+    ("continuous+ov", 0.3, 11),
 ]
 
 
@@ -68,15 +83,37 @@ def _faulty(engine, rate: float, seed: int):
     )
 
 
+def _overload_controller(seed: int) -> OverloadController:
+    return OverloadController(
+        OverloadConfig(
+            limits=QueueLimits(max_tokens=BATCH.capacity_tokens),
+            shedding=make_shedder("random", seed=seed),
+            breaker=BreakerConfig(failure_threshold=2, recovery_time=0.2),
+            degradation=DegradationConfig(
+                shed_enter_delay=0.3,
+                shed_exit_delay=0.1,
+                brownout_enter_delay=0.8,
+                brownout_exit_delay=0.3,
+                min_window=8,
+                shed_min_slack=0.5,
+                brownout_min_slack=1.0,
+            ),
+        )
+    )
+
+
 def _run_traced(loop: str, rate: float, seed: int):
     tracer = Tracer()
     wl = _workload(seed)
+    loop, _, suffix = loop.partition("+")
+    ov = _overload_controller(seed) if suffix == "ov" else None
     if loop == "single":
         sim = ServingSimulator(
             DASScheduler(BATCH),
             _faulty(ConcatEngine(BATCH), rate, seed),
             admission=AdmissionController(BATCH),
             trace=tracer,
+            overload=ov,
         )
         metrics = sim.run(wl).metrics
     elif loop == "slotted":
@@ -91,6 +128,7 @@ def _run_traced(loop: str, rate: float, seed: int):
             DASScheduler(BATCH),
             [_faulty(ConcatEngine(BATCH), rate, seed + i) for i in range(2)],
             trace=tracer,
+            overload=ov,
         )
         metrics = sim.run(wl).metrics
     else:
@@ -103,6 +141,7 @@ def _run_traced(loop: str, rate: float, seed: int):
                 else None
             ),
             trace=tracer,
+            overload=ov,
         )
         metrics = sim.run(wl)
     return tracer, metrics

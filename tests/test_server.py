@@ -80,3 +80,161 @@ class TestTCBServer:
         rid = server.submit([5, 5, 5])
         server.step()
         assert server.poll(rid) is not None
+
+
+class TestServerOverload:
+    """submit()/step() wired into the overload plane (docs/overload.md)."""
+
+    def _server(self, overload=None, admission=None, rows=2):
+        return TCBServer(
+            model_config=ModelConfig.tiny(),
+            batch=BatchConfig(num_rows=rows, row_length=16),
+            seed=11,
+            max_new_tokens=2,
+            overload=overload,
+            admission=admission,
+        )
+
+    def test_bounded_queue_raises_backpressure(self):
+        from repro.overload import (
+            BackpressureError,
+            OverloadConfig,
+            OverloadController,
+            QueueLimits,
+        )
+
+        ov = OverloadController(
+            OverloadConfig(limits=QueueLimits(max_requests=1))
+        )
+        server = self._server(overload=ov)
+        server.submit([5, 6, 7])
+        with pytest.raises(BackpressureError, match="queue-full") as exc:
+            server.submit([8, 9])
+        assert exc.value.reason == "queue-full"
+        assert exc.value.pressure is not None
+        # The refusal is a ledgered terminal, not a lost request.
+        assert server.metrics.arrived == 2
+        assert server.metrics.num_rejected == 1
+        # Draining restores capacity.
+        server.run_until_drained()
+        server.submit([8, 9])
+        assert server.pending == 1
+
+    def test_admission_refusal_raises_backpressure(self):
+        from repro.overload import BackpressureError
+        from repro.serving.admission import AdmissionController
+
+        batch = BatchConfig(num_rows=2, row_length=16)
+        server = self._server(admission=AdmissionController(batch))
+        with pytest.raises(BackpressureError, match="deadline unreachable"):
+            server.submit([5, 6, 7], deadline_slack=0.0)
+        assert server.metrics.num_rejected == 1
+
+    def test_degraded_admission_raises_backpressure(self):
+        from repro.overload import (
+            BackpressureError,
+            DegradationConfig,
+            OverloadConfig,
+            OverloadController,
+        )
+        from repro.scheduling.queue import RequestQueue
+        from repro.types import Request
+
+        ov = OverloadController(
+            OverloadConfig(
+                degradation=DegradationConfig(
+                    shed_min_slack=0.5, brownout_min_slack=30.0
+                )
+            )
+        )
+        server = self._server(overload=ov)
+        # Age a synthetic queue far past the brownout threshold so the
+        # controller degrades (the server shares the controller object).
+        stale = RequestQueue()
+        stale.add(Request(request_id=999, length=4, arrival=0.0, deadline=500.0))
+        ov.update(100.0, stale)
+        assert ov.level.label == "brownout"
+        with pytest.raises(BackpressureError, match="degraded"):
+            server.submit([5, 6, 7], deadline_slack=1.0)  # slack < 30s floor
+        assert server.metrics.num_rejected == 1
+        # Plenty of slack still gets through even under brownout.
+        rid = server.submit([5, 6, 7], deadline_slack=120.0)
+        assert isinstance(rid, int)
+
+    def test_run_until_drained_raises_when_exhausted(self):
+        from repro.overload import (
+            BreakerConfig,
+            OverloadConfig,
+            OverloadController,
+        )
+        from repro.serving.server import DrainExhausted
+
+        # A tripped breaker with an hour-long recovery: step() can never
+        # serve, so the drain must report exhaustion instead of silently
+        # returning a partial result.
+        ov = OverloadController(
+            OverloadConfig(
+                breaker=BreakerConfig(failure_threshold=1, recovery_time=3600.0)
+            )
+        )
+        server = self._server(overload=ov)
+        server.submit([5, 6, 7])
+        ov.record_result(0, 0.0, ok=False)
+        with pytest.raises(DrainExhausted) as exc:
+            server.run_until_drained(max_steps=3)
+        assert exc.value.pending == 1
+        assert exc.value.max_steps == 3
+        assert server.drain_exhausted
+
+    def test_run_until_drained_return_mode(self):
+        from repro.overload import (
+            BreakerConfig,
+            OverloadConfig,
+            OverloadController,
+        )
+
+        ov = OverloadController(
+            OverloadConfig(
+                breaker=BreakerConfig(failure_threshold=1, recovery_time=3600.0)
+            )
+        )
+        server = self._server(overload=ov)
+        server.submit([5, 6, 7])
+        ov.record_result(0, 0.0, ok=False)
+        out = server.run_until_drained(max_steps=2, on_exhausted="return")
+        assert out == []
+        assert server.drain_exhausted
+        with pytest.raises(ValueError, match="on_exhausted"):
+            server.run_until_drained(on_exhausted="explode")
+
+    def test_drained_flag_resets_on_success(self, server):
+        server.submit([5, 6, 7])
+        server.drain_exhausted = True
+        server.run_until_drained()
+        assert not server.drain_exhausted
+
+    def test_metrics_ledger_conserves_after_drain(self):
+        from repro.overload import (
+            BackpressureError,
+            OverloadConfig,
+            OverloadController,
+            QueueLimits,
+        )
+
+        ov = OverloadController(
+            OverloadConfig(limits=QueueLimits(max_requests=2))
+        )
+        server = self._server(overload=ov)
+        accepted = 0
+        for i in range(5):
+            try:
+                server.submit([4 + i % 5] * (2 + i % 4))
+                accepted += 1
+            except BackpressureError:
+                pass
+        server.run_until_drained()
+        m = server.metrics
+        assert m.arrived == 5
+        assert m.num_served == accepted
+        assert m.num_rejected == 5 - accepted
+        m.assert_conservation()
