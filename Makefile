@@ -21,7 +21,7 @@ figures:
 # mypy run when installed (pip install -e .[dev]) and are skipped with
 # a notice otherwise, so `make lint` works in the bare container.
 lint:
-	python -m repro lint
+	PYTHONPATH=src python -m repro lint
 	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
 	else echo "ruff not installed — skipped (pip install -e .[dev])"; fi
 	@if command -v mypy >/dev/null 2>&1; then mypy; \

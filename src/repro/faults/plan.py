@@ -24,6 +24,12 @@ from repro.rng import ensure_rng
 
 __all__ = ["FaultKind", "FaultEvent", "FaultConfig", "FaultPlan"]
 
+# Stream-domain tag mixed into every SeedSequence key below.  Each
+# consumer of per-index child streams owns a distinct tag so two
+# components sharing an experiment seed can never consume the same
+# stream (tcblint TCB011); the shedding policies use a different tag.
+_STREAM_FAULT_PLAN = 0xFA
+
 
 class FaultKind(enum.Enum):
     """What goes wrong in one engine slot."""
@@ -122,10 +128,12 @@ class FaultConfig:
 class FaultPlan:
     """Deterministic map from engine-slot index to :class:`FaultEvent`.
 
-    Each index gets its own child stream seeded by ``(seed, index)``, so
-    ``plan.event(i)`` is a pure function of ``(config, seed, i)`` — two
-    plans with equal seeds produce identical event sequences no matter
-    how (or in what order) they are queried.
+    Each index gets its own child stream seeded by ``(seed,
+    stream-domain, index)``, so ``plan.event(i)`` is a pure function of
+    ``(config, seed, i)`` — two plans with equal seeds produce identical
+    event sequences no matter how (or in what order) they are queried.
+    The stream-domain tag keeps the plan's streams disjoint from every
+    other seeded component in the same experiment.
     """
 
     def __init__(self, config: FaultConfig, seed: int = 0):
@@ -150,7 +158,9 @@ class FaultPlan:
         c = self.config
         if c.is_zero:
             return FaultEvent()
-        rng = ensure_rng(np.random.SeedSequence((self.seed, index)))
+        rng = ensure_rng(
+            np.random.SeedSequence((self.seed, _STREAM_FAULT_PLAN, index))
+        )
         u = float(rng.uniform())
         edge = c.failure_rate
         if u < edge:

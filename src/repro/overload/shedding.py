@@ -4,9 +4,9 @@ A policy orders the waiting set and victims are taken from the front of
 that order until the queue is back under both its count and token
 limits.  All policies are deterministic: ties break on ``request_id``
 and :class:`RandomShed` derives each decision from an independent
-``(seed, decision_index)`` stream (same scheme as
-:class:`~repro.faults.plan.FaultPlan`), so identical runs shed
-identical victims.
+``(seed, stream-domain, decision_index)`` stream (same scheme as
+:class:`~repro.faults.plan.FaultPlan`, under a different domain tag so
+the two never alias), so identical runs shed identical victims.
 
 Which policy wins depends on the objective: *lowest-utility-first*
 protects Eq. 9's Σ v_n (utility is 1/length, so it sheds the longest
@@ -35,6 +35,11 @@ __all__ = [
     "RandomShed",
     "make_shedder",
 ]
+
+# Stream-domain tag mixed into every SeedSequence key below, distinct
+# from the FaultPlan tag, so a shedder and a fault plan sharing one
+# experiment seed can never consume the same stream (tcblint TCB011).
+_STREAM_RANDOM_SHED = 0x5D
 
 
 class SheddingPolicy(abc.ABC):
@@ -98,9 +103,9 @@ class RandomShed(SheddingPolicy):
     """Uniform-random victims — the baseline the informed policies beat.
 
     Each shedding decision draws a fresh permutation from an
-    independent ``(seed, decision_index)`` child stream, so replaying a
-    run replays its sheds exactly, regardless of how many decisions
-    earlier runs consumed (``reset`` rewinds the index).
+    independent ``(seed, stream-domain, decision_index)`` child stream,
+    so replaying a run replays its sheds exactly, regardless of how
+    many decisions earlier runs consumed (``reset`` rewinds the index).
     """
 
     name = "random"
@@ -117,7 +122,11 @@ class RandomShed(SheddingPolicy):
     def order(
         self, waiting: Sequence[Request], now: float
     ) -> list[Request]:
-        rng = ensure_rng(np.random.SeedSequence((self.seed, self._decision)))
+        rng = ensure_rng(
+            np.random.SeedSequence(
+                (self.seed, _STREAM_RANDOM_SHED, self._decision)
+            )
+        )
         self._decision += 1
         # Sort first so the permutation is over a canonical order — the
         # caller's iteration order cannot perturb the draw.

@@ -1,0 +1,93 @@
+"""Baseline snapshots: adopt tcblint on a tree with known findings.
+
+A baseline is a JSON map of finding *fingerprints* to counts.  The
+fingerprint is ``(rule, path, message)`` — deliberately **not** the
+line number, so reformatting or adding imports above a known finding
+does not resurface it, while any new instance of the same rule in the
+same file with a different message does.
+
+Workflow::
+
+    python -m repro lint --write-baseline .tcblint-baseline.json
+    # later — only NEW findings fail the run:
+    python -m repro lint --baseline .tcblint-baseline.json
+
+Multiple identical findings (same fingerprint, e.g. the same banned
+call repeated) are counted: a baseline with count 2 absorbs at most two
+occurrences and the third fails the run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.statics.engine import LintReport
+from repro.statics.findings import Finding
+
+__all__ = [
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+_FORMAT_VERSION = 1
+_SEP = "\x1f"  # unit separator: cannot appear in rule ids or paths
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-independent identity of a finding."""
+    return _SEP.join((finding.rule, finding.path, finding.message))
+
+
+def write_baseline(report: LintReport, path: str | Path) -> int:
+    """Snapshot *report*'s findings; returns how many were recorded."""
+    counts: dict[str, int] = {}
+    for f in report.findings:
+        key = fingerprint(f)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "version": _FORMAT_VERSION,
+        "tool": "tcblint",
+        "findings": [
+            {"rule": k.split(_SEP)[0], "fingerprint": k, "count": v}
+            for k, v in sorted(counts.items())
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(report.findings)
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Load a baseline file into a fingerprint -> count budget map."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("tool") != "tcblint":
+        raise ValueError(f"{path}: not a tcblint baseline file")
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}"
+        )
+    budgets: dict[str, int] = {}
+    for entry in data.get("findings", []):
+        budgets[entry["fingerprint"]] = int(entry.get("count", 1))
+    return budgets
+
+
+def apply_baseline(report: LintReport, budgets: dict[str, int]) -> None:
+    """Drop baselined findings from *report* in place.
+
+    Each fingerprint absorbs at most its budgeted count — extra
+    occurrences beyond the snapshot still fail.  ``report.baselined``
+    records how many were absorbed.
+    """
+    remaining = dict(budgets)
+    kept: list[Finding] = []
+    for f in report.findings:
+        key = fingerprint(f)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            report.baselined += 1
+        else:
+            kept.append(f)
+    report.findings[:] = kept

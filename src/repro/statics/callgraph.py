@@ -1,0 +1,529 @@
+"""Package-wide call graph for the interprocedural tcblint rules.
+
+Built once per lint run from every parsed module, it resolves
+``repro.*`` calls through import aliases, ``self.``-method dispatch,
+annotated receivers (``engine: InferenceEngine``) and constructor-typed
+locals (``q = RequestQueue()``).  When a receiver's type is unknown, a
+method call falls back to *name-based virtual dispatch*: edges to every
+known class method of that name.  Resolved base classes also dispatch to
+subclass overrides (``engine.serve`` on an ``InferenceEngine`` receiver
+reaches ``FaultyEngine.serve``).  Both fallbacks deliberately
+over-approximate — for the rules built on top (TCB012's "some caller
+must handle this fault"), extra edges can only *suppress* findings,
+never invent them, which is the safe direction.
+
+The graph also records, per function, every typed ``raise`` and every
+``except`` handler (with whether the bound exception is actually used),
+plus the class hierarchy needed to match a handler's caught type against
+a raised subtype.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.statics.rules import ModuleContext
+
+__all__ = [
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "HandlerInfo",
+    "RaiseSite",
+    "build_call_graph",
+    "module_name",
+]
+
+# Builtin exception names usable as catch-all supertypes in handler
+# matching; anything raised in-package is a subclass of one of these.
+_BUILTIN_EXC = frozenset({"Exception", "BaseException", "RuntimeError"})
+
+
+def module_name(path: str) -> str:
+    """``repro/faults/plan.py`` → ``repro.faults.plan``."""
+    p = path[:-3] if path.endswith(".py") else path
+    parts = [x for x in p.replace("\\", "/").split("/") if x]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str  # repro.faults.recovery.serve_slot, repro...FaultyEngine.serve
+    module: str
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional[str] = None  # owning class qualname for methods
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)  # resolved where possible
+    methods: dict[str, str] = field(default_factory=dict)  # name -> func qualname
+    attr_types: dict[str, str] = field(default_factory=dict)  # self.x -> class
+
+
+@dataclass
+class HandlerInfo:
+    func: str  # enclosing function qualname
+    path: str
+    lineno: int
+    col: int
+    types: tuple[str, ...]  # resolved caught-exception names
+    bound: Optional[str]  # `as name`, if any
+    uses_bound: bool  # the bound name is read in the handler body
+    reraises: bool  # the handler body contains a `raise`
+
+
+@dataclass
+class RaiseSite:
+    func: str
+    path: str
+    lineno: int
+    col: int
+    exc: str  # resolved exception qualname (or bare name)
+
+
+def _own_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/classes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        n = stack.pop()
+        yield n
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(n))
+
+
+def _dotted(node: ast.AST) -> Optional[tuple[str, list[str]]]:
+    """Split a Name/Attribute chain into (root, [attrs]); None otherwise."""
+    attrs: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        attrs.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    return cur.id, list(reversed(attrs))
+
+
+class CallGraph:
+    """The package-wide call/raise/handle graph."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.calls: dict[str, set[str]] = {}
+        self.callers: dict[str, set[str]] = {}
+        self.raises: list[RaiseSite] = []
+        self.handlers: dict[str, list[HandlerInfo]] = {}
+        # method name -> every function qualname implementing it.
+        self.methods_by_name: dict[str, set[str]] = {}
+        # class qualname -> direct subclasses.
+        self.subclasses: dict[str, set[str]] = {}
+
+    # -- construction --------------------------------------------------- #
+
+    def add_call(self, caller: str, callee: str) -> None:
+        self.calls.setdefault(caller, set()).add(callee)
+        self.callers.setdefault(callee, set()).add(caller)
+
+    # -- hierarchy ------------------------------------------------------ #
+
+    def mro_methods(self, cls: str, name: str) -> list[str]:
+        """Implementations of *name* on *cls* or its resolved ancestors."""
+        out: list[str] = []
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            c = stack.pop()
+            if c in seen or c not in self.classes:
+                continue
+            seen.add(c)
+            info = self.classes[c]
+            if name in info.methods:
+                out.append(info.methods[name])
+            stack.extend(info.bases)
+        return out
+
+    def overrides(self, cls: str, name: str) -> list[str]:
+        """Implementations of *name* in transitive subclasses of *cls*."""
+        out: list[str] = []
+        seen: set[str] = set()
+        stack = list(self.subclasses.get(cls, ()))
+        while stack:
+            c = stack.pop()
+            if c in seen:
+                continue
+            seen.add(c)
+            info = self.classes.get(c)
+            if info and name in info.methods:
+                out.append(info.methods[name])
+            stack.extend(self.subclasses.get(c, ()))
+        return out
+
+    def is_subtype(self, sub: str, base: str) -> bool:
+        """Does *sub* name the same class as *base* or a subclass of it?
+
+        Matching is by resolved qualname, with bare builtin supertypes
+        (``Exception``/``BaseException``/``RuntimeError``) accepted as
+        universal bases.
+        """
+        if sub == base:
+            return True
+        if base.rsplit(".", 1)[-1] in _BUILTIN_EXC:
+            return True
+        seen: set[str] = set()
+        stack = [sub]
+        while stack:
+            c = stack.pop()
+            if c == base:
+                return True
+            if c in seen:
+                continue
+            seen.add(c)
+            stack.extend(self.classes[c].bases if c in self.classes else ())
+        return False
+
+    # -- queries -------------------------------------------------------- #
+
+    def transitive_callers(self, qualname: str) -> set[str]:
+        """Every function that can (transitively) reach *qualname*."""
+        out: set[str] = set()
+        stack = [qualname]
+        while stack:
+            cur = stack.pop()
+            for caller in self.callers.get(cur, ()):
+                if caller not in out:
+                    out.add(caller)
+                    stack.append(caller)
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# Builder
+# ---------------------------------------------------------------------- #
+
+
+class _ModuleScan:
+    """Per-module raw facts gathered in pass 1 (names not yet resolved)."""
+
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+        self.module = module_name(ctx.path)
+        self.imports = self._import_map(ctx.tree, self.module)
+        # local top-level name -> qualname (own defs shadow imports).
+        self.local: dict[str, str] = {}
+
+    @staticmethod
+    def _import_map(tree: ast.AST, module: str) -> dict[str, str]:
+        imp: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.asname:
+                        imp[a.asname] = a.name
+                    else:
+                        root = a.name.split(".", 1)[0]
+                        imp[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    parent = module.split(".")
+                    parent = parent[: max(0, len(parent) - node.level)]
+                    base = ".".join(parent + ([node.module] if node.module else []))
+                for a in node.names:
+                    if a.name == "*":
+                        continue
+                    imp[a.asname or a.name] = (
+                        f"{base}.{a.name}" if base else a.name
+                    )
+        return imp
+
+    def resolve(self, name: str) -> Optional[str]:
+        if name in self.local:
+            return self.local[name]
+        return self.imports.get(name)
+
+    def resolve_chain(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to a qualified dotted name."""
+        parts = _dotted(node)
+        if parts is None:
+            return None
+        root, attrs = parts
+        base = self.resolve(root)
+        if base is None:
+            return None
+        return ".".join([base, *attrs]) if attrs else base
+
+
+def _collect_defs(graph: CallGraph, scan: _ModuleScan) -> None:
+    """Pass 1: register every function and class (bases unresolved)."""
+
+    def visit(node: ast.AST, prefix: str, cls: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                graph.functions[qual] = FunctionInfo(
+                    qualname=qual,
+                    module=scan.module,
+                    path=scan.ctx.path,
+                    node=child,
+                    cls=cls,
+                )
+                if cls is not None:
+                    graph.classes[cls].methods[child.name] = qual
+                    graph.methods_by_name.setdefault(child.name, set()).add(qual)
+                elif prefix == f"{scan.module}.":
+                    scan.local[child.name] = qual
+                visit(child, f"{qual}.", None)
+            elif isinstance(child, ast.ClassDef):
+                cqual = f"{prefix}{child.name}"
+                graph.classes[cqual] = ClassInfo(
+                    qualname=cqual,
+                    module=scan.module,
+                    path=scan.ctx.path,
+                    node=child,
+                )
+                if prefix == f"{scan.module}.":
+                    scan.local[child.name] = cqual
+                visit(child, f"{cqual}.", cqual)
+            else:
+                visit(child, prefix, cls)
+
+    visit(scan.ctx.tree, f"{scan.module}.", None)
+
+
+def _resolve_classes(graph: CallGraph, scan: _ModuleScan) -> None:
+    """Pass 2: resolve base classes and ``self.x = Class()`` attr types."""
+    for cls in list(graph.classes.values()):
+        if cls.module != scan.module:
+            continue
+        for b in cls.node.bases:
+            resolved = scan.resolve_chain(b)
+            if resolved is None and isinstance(b, ast.Name):
+                resolved = b.id  # bare builtin (Exception, ...)
+            if resolved:
+                cls.bases.append(resolved)
+                graph.subclasses.setdefault(resolved, set()).add(cls.qualname)
+        # Attribute types from __init__-style assignments/annotations.
+        for n in ast.walk(cls.node):
+            target: Optional[str] = None
+            ann_or_value: Optional[ast.AST] = None
+            if isinstance(n, ast.AnnAssign) and isinstance(n.target, ast.Attribute):
+                d = _dotted(n.target)
+                if d and d[0] == "self" and len(d[1]) == 1:
+                    target, ann_or_value = d[1][0], n.annotation
+            elif isinstance(n, ast.Assign) and len(n.targets) == 1 and isinstance(
+                n.targets[0], ast.Attribute
+            ):
+                d = _dotted(n.targets[0])
+                if (
+                    d
+                    and d[0] == "self"
+                    and len(d[1]) == 1
+                    and isinstance(n.value, ast.Call)
+                ):
+                    target, ann_or_value = d[1][0], n.value.func
+            if target is None or ann_or_value is None:
+                continue
+            t = scan.resolve_chain(ann_or_value)
+            if t in graph.classes:
+                cls.attr_types[target] = t
+
+
+def _local_types(
+    func: ast.AST, scan: _ModuleScan, graph: CallGraph
+) -> dict[str, str]:
+    """Known class types of parameters and constructor-assigned locals."""
+    types: dict[str, str] = {}
+    args = getattr(func, "args", None)
+    if args is not None:
+        every = [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+        for a in every:
+            if a.annotation is None:
+                continue
+            ann = a.annotation
+            # Unwrap Optional["X"] / string annotations conservatively.
+            if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+                t = scan.resolve(ann.value.split(".", 1)[0])
+            else:
+                t = scan.resolve_chain(ann)
+            if t in graph.classes:
+                types[a.arg] = t
+    for n in _own_walk(func):
+        if (
+            isinstance(n, ast.Assign)
+            and len(n.targets) == 1
+            and isinstance(n.targets[0], ast.Name)
+            and isinstance(n.value, ast.Call)
+        ):
+            t = scan.resolve_chain(n.value.func)
+            if t in graph.classes:
+                types[n.targets[0].id] = t
+    return types
+
+
+def _resolve_call(
+    call: ast.Call,
+    info: FunctionInfo,
+    scan: _ModuleScan,
+    graph: CallGraph,
+    local_types: dict[str, str],
+) -> list[str]:
+    """Resolve one call expression to zero or more callee qualnames."""
+    func = call.func
+    d = _dotted(func)
+    if d is None:
+        return []
+    root, attrs = d
+
+    # Plain name: local function, imported function, or class constructor.
+    if not attrs:
+        q = scan.resolve(root)
+        if q is None:
+            return []
+        if q in graph.functions:
+            return [q]
+        if q in graph.classes:
+            init = graph.mro_methods(q, "__init__")
+            return [q, *init]
+        return []
+
+    # self.m(...) / cls.m(...) inside a class.
+    if root in ("self", "cls") and info.cls is not None:
+        if len(attrs) == 1:
+            targets = graph.mro_methods(info.cls, attrs[0])
+            targets += graph.overrides(info.cls, attrs[0])
+            return targets
+        if len(attrs) == 2:
+            recv_t = graph.classes[info.cls].attr_types.get(attrs[0])
+            if recv_t is not None:
+                targets = graph.mro_methods(recv_t, attrs[1])
+                targets += graph.overrides(recv_t, attrs[1])
+                if targets:
+                    return targets
+        return list(graph.methods_by_name.get(attrs[-1], ()))
+
+    # Typed receiver: parameter annotation or constructor-typed local.
+    if root in local_types and len(attrs) == 1:
+        recv_t = local_types[root]
+        targets = graph.mro_methods(recv_t, attrs[0])
+        targets += graph.overrides(recv_t, attrs[0])
+        if targets:
+            return targets
+
+    # Fully-qualified chain through the import map (module.func, Class.m).
+    q = scan.resolve_chain(func)
+    if q is not None:
+        if q in graph.functions:
+            return [q]
+        if q in graph.classes:
+            return [q, *graph.mro_methods(q, "__init__")]
+        # Resolved to something outside the analyzed set (numpy.*, ...):
+        # known-foreign, so no virtual-dispatch fallback.
+        if scan.resolve(root) is not None and root not in local_types:
+            return []
+
+    # Unknown receiver: name-based virtual dispatch over known methods.
+    return list(graph.methods_by_name.get(attrs[-1], ()))
+
+
+def _scan_function(
+    graph: CallGraph, scan: _ModuleScan, info: FunctionInfo
+) -> None:
+    local_types = _local_types(info.node, scan, graph)
+    for n in _own_walk(info.node):
+        if isinstance(n, ast.Call):
+            for callee in _resolve_call(n, info, scan, graph, local_types):
+                graph.add_call(info.qualname, callee)
+        elif isinstance(n, ast.Raise) and n.exc is not None:
+            exc_expr = n.exc.func if isinstance(n.exc, ast.Call) else n.exc
+            q = scan.resolve_chain(exc_expr)
+            if q is None and isinstance(exc_expr, ast.Name):
+                q = exc_expr.id
+            if q is not None:
+                graph.raises.append(
+                    RaiseSite(
+                        func=info.qualname,
+                        path=info.path,
+                        lineno=n.lineno,
+                        col=n.col_offset,
+                        exc=q,
+                    )
+                )
+        elif isinstance(n, ast.ExceptHandler):
+            graph.handlers.setdefault(info.qualname, []).append(
+                _handler_info(n, scan, info)
+            )
+
+
+def _handler_info(
+    h: ast.ExceptHandler, scan: _ModuleScan, info: FunctionInfo
+) -> HandlerInfo:
+    raw = (
+        h.type.elts
+        if isinstance(h.type, ast.Tuple)
+        else [h.type]
+        if h.type is not None
+        else []
+    )
+    types: list[str] = []
+    for t in raw:
+        q = scan.resolve_chain(t)
+        if q is None and isinstance(t, ast.Name):
+            q = t.id
+        if q is not None:
+            types.append(q)
+    uses = False
+    reraises = False
+    for n in ast.walk(h):
+        if isinstance(n, ast.Raise):
+            reraises = True
+        if (
+            h.name is not None
+            and isinstance(n, ast.Name)
+            and n.id == h.name
+            and isinstance(n.ctx, ast.Load)
+        ):
+            uses = True
+    return HandlerInfo(
+        func=info.qualname,
+        path=info.path,
+        lineno=h.lineno,
+        col=h.col_offset,
+        types=tuple(types),
+        bound=h.name,
+        uses_bound=uses,
+        reraises=reraises,
+    )
+
+
+def build_call_graph(contexts: Sequence[ModuleContext]) -> CallGraph:
+    """Build the call graph over every given module."""
+    graph = CallGraph()
+    scans = [_ModuleScan(ctx) for ctx in contexts]
+    for scan in scans:
+        _collect_defs(graph, scan)
+    for scan in scans:
+        _resolve_classes(graph, scan)
+    for scan in scans:
+        for info in list(graph.functions.values()):
+            if info.module == scan.module and info.path == scan.ctx.path:
+                _scan_function(graph, scan, info)
+    return graph

@@ -1,8 +1,10 @@
-"""The eight tcblint rules (TCB001–TCB008).
+"""The syntactic tcblint rules (TCB001–TCB008).
 
 Each rule protects one cross-cutting invariant of the reproduction;
 ``docs/statics.md`` ties every rule to the paper equation or
-reproducibility requirement behind it.
+reproducibility requirement behind it.  The flow-sensitive rules
+(TCB009–TCB012) live in :mod:`repro.statics.flowchecks` and are merged
+into :data:`ALL_RULES` here.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ import ast
 from typing import Iterator, Optional
 
 from repro.statics.findings import Finding, Severity
+from repro.statics.flowchecks import FLOW_RULES
 from repro.statics.policy import RNG_ENTRY_POINTS, path_matches
 from repro.statics.rules import ModuleContext, Rule, resolve
 
@@ -449,6 +452,7 @@ ALL_RULES: tuple[Rule, ...] = (
     QuadraticAllocation(),
     SwallowedExceptions(),
     LedgeredDrops(),
+    *FLOW_RULES,
 )
 
 RULES_BY_ID: dict[str, Rule] = {r.rule_id: r for r in ALL_RULES}

@@ -16,7 +16,14 @@ from typing import Iterator, Optional
 
 from repro.statics.findings import Finding, Severity
 
-__all__ = ["ModuleContext", "Rule", "build_alias_map", "make_context", "resolve"]
+__all__ = [
+    "ModuleContext",
+    "ProjectRule",
+    "Rule",
+    "build_alias_map",
+    "make_context",
+    "resolve",
+]
 
 # Top-level modules whose imports we track for resolution.
 _TRACKED_ROOTS = ("numpy", "time", "datetime", "random")
@@ -103,3 +110,24 @@ class Rule:
             severity=self.severity,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole module set at once.
+
+    Interprocedural rules (call graphs, cross-module stream registries)
+    cannot verify a single file in isolation; the engine runs them once
+    per lint invocation over every parsed module, after the per-file
+    rules.  Findings still land on individual files and pass through
+    that file's policy/suppression filters, so ``# tcblint: disable``
+    works unchanged.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # Per-file pass: nothing to do; see check_project.
+        return iter(())
+
+    def check_project(
+        self, contexts: "list[ModuleContext]"
+    ) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError

@@ -12,6 +12,11 @@ Multiple rules may be given comma-separated
 Comments are discovered with :mod:`tokenize`, so strings that merely
 *look* like directives do not count, and directives may share a line
 with code.
+
+Each ``(rule, line)`` directive records whether it ever actually
+suppressed a finding; :meth:`SuppressionMap.unused` reports the stale
+ones so ``python -m repro lint --report-unused-suppressions`` can flag
+directives that outlived the code they excused.
 """
 
 from __future__ import annotations
@@ -20,12 +25,22 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
+from typing import Iterator, Optional
 
-__all__ = ["SuppressionMap", "collect_suppressions"]
+__all__ = ["Directive", "SuppressionMap", "collect_suppressions"]
 
 _DIRECTIVE = re.compile(
     r"#\s*tcblint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
 )
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One ``(rule, line)`` grain of a suppression comment."""
+
+    rule: str  # normalised rule id, or "all"
+    line: int  # the directive's own source line
+    file_wide: bool
 
 
 @dataclass
@@ -36,12 +51,41 @@ class SuppressionMap:
     file_wide: set[str] = field(default_factory=set)
     # Count of directives that parsed, for diagnostics.
     num_directives: int = 0
+    # Every (rule, line) grain, and the ones that suppressed something.
+    directives: list[Directive] = field(default_factory=list)
+    used: set[Directive] = field(default_factory=set)
+    # rule -> directive line, for file-wide grains.
+    _file_lines: dict[str, int] = field(default_factory=dict)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        if "all" in self.file_wide or rule in self.file_wide:
-            return True
+        hit = False
+        for fw_rule in ("all", rule):
+            if fw_rule in self.file_wide:
+                self.used.add(
+                    Directive(fw_rule, self._file_lines.get(fw_rule, 0), True)
+                )
+                hit = True
         rules = self.by_line.get(line)
-        return rules is not None and ("all" in rules or rule in rules)
+        if rules is not None:
+            for lr in ("all", rule):
+                if lr in rules:
+                    self.used.add(Directive(lr, line, False))
+                    hit = True
+        return hit
+
+    def unused(self, ran_rules: Optional[set[str]] = None) -> Iterator[Directive]:
+        """Directives that never suppressed anything this run.
+
+        ``ran_rules`` limits the report to rules that were actually
+        executed — a partial ``--rules`` run cannot judge directives for
+        the rules it skipped (``all`` grains are always judged).
+        """
+        for d in self.directives:
+            if d in self.used:
+                continue
+            if ran_rules is not None and d.rule != "all" and d.rule not in ran_rules:
+                continue
+            yield d
 
 
 def _parse_rules(raw: str) -> set[str]:
@@ -64,10 +108,16 @@ def collect_suppressions(source: str) -> SuppressionMap:
             if not rules:
                 continue
             smap.num_directives += 1
+            line = tok.start[0]
             if m.group("kind") == "disable-file":
                 smap.file_wide |= rules
+                for r in rules:
+                    smap._file_lines.setdefault(r, line)
+                    smap.directives.append(Directive(r, line, True))
             else:
-                smap.by_line.setdefault(tok.start[0], set()).update(rules)
+                smap.by_line.setdefault(line, set()).update(rules)
+                for r in rules:
+                    smap.directives.append(Directive(r, line, False))
     except tokenize.TokenError:  # partial files: honor what we saw
         pass
     return smap

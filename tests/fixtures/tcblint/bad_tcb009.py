@@ -1,0 +1,47 @@
+"""Known-bad TCB009 fixture: queue removals that escape the ledger.
+
+Linted by tests with a ``repro/serving/`` path; the rule is silent at
+this file's real location.
+"""
+
+
+def leak_on_branch(queue, metrics, victims, verbose):
+    taken = queue.take(victims)
+    if verbose:
+        metrics.rejected.extend(taken)
+    return taken  # the false branch never ledgers the batch
+
+
+def discarded_take(queue, victims):
+    queue.take(victims)  # result not even bound: a sure leak
+    return len(victims)
+
+
+def leak_after_loop_break(queue, metrics, victims):
+    batch = queue.take(victims)
+    for _ in range(3):
+        if metrics.full:
+            break
+    else:
+        metrics.rejected.extend(batch)
+    return batch  # break path skips the else-clause ledger
+
+
+def clean_guarded(queue, metrics, victims):
+    taken = queue.take(victims)
+    if not taken:
+        return []  # empty batch owes nothing (branch refinement)
+    metrics.rejected.extend(taken)
+    return taken
+
+
+def clean_requeue(queue, served):
+    queue.remove_served(served)
+    queue.requeue(served)
+
+
+def clean_element_handoff(queue, running, victims):
+    admitted = queue.take(victims)
+    for req in admitted:
+        running.append(req)  # per-element ownership transfer
+    return running

@@ -1,0 +1,39 @@
+"""Known-bad TCB010 fixture: wall-clock / simulated-time mixing.
+
+Linted by tests with a ``repro/scheduling/`` path (where TCB003 is
+policy-waived for the fig16 files — exactly the gap TCB010 closes).
+"""
+
+import time
+
+
+def mixes_domains(now):
+    start = time.perf_counter()
+    return now - start  # BinOp across the two clock domains
+
+
+def wall_into_sim_sink(queue, now):
+    stamp = time.monotonic()
+    queue.expire(stamp)  # wall reading advances the simulated clock
+
+
+def sim_into_wall_sink(now):
+    time.sleep(now)  # simulated timestamp used as a real duration
+
+
+def compares_domains(queue, now, deadline):
+    t0 = time.perf_counter()
+    if t0 > deadline + now:  # comparison across domains
+        queue.expire(now)
+
+
+def clean_overhead_measurement(decision, plan):
+    start = time.perf_counter()
+    decision.runtime = time.perf_counter() - start  # wall - wall
+    return decision
+
+
+def clean_rebinding(queue, now):
+    t = time.perf_counter()
+    t = now + 1.0  # rebound into the sim domain before use
+    queue.expire(t)

@@ -1,0 +1,37 @@
+"""Known-bad TCB012 fixture: typed faults swallowed or escaping.
+
+Linted by tests with a ``repro/serving/`` path; the project rule builds
+a call graph over whatever modules the run sees (here: just this file).
+"""
+
+
+class BatchFailure(Exception):
+    def __init__(self, requests):
+        super().__init__(len(requests))
+        self.requests = requests
+
+
+def unhandled_raise(batch):
+    raise BatchFailure(batch)  # no ledgered handler on any caller chain
+
+
+def swallowing_handler(engine, batch):
+    try:
+        return engine.serve(batch)
+    except BatchFailure:  # payload silently dropped
+        return None
+
+
+def ledgered_handler(engine, batch, metrics):
+    try:
+        return engine.serve(batch)
+    except BatchFailure as failure:
+        metrics.rejected.extend(failure.requests)
+        return []
+
+
+def documented_escape(batch):
+    """Validate a batch; raises BatchFailure on malformed requests."""
+    if not batch:
+        raise BatchFailure(batch)
+    return batch
