@@ -1,6 +1,6 @@
 # Convenience targets for the TCB reproduction.
 
-.PHONY: install test bench examples figures lint report trace-smoke overload-smoke clean
+.PHONY: install test bench examples figures lint report trace-smoke overload-smoke recovery-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -43,7 +43,16 @@ on = overload_point(450.0, shedding=True, horizon=6.0, seed=0); \
 assert on.goodput_utility > off.goodput_utility, (on.goodput_utility, off.goodput_utility); \
 print(f'overload smoke: goodput {off.goodput_utility:.1f} (off) -> {on.goodput_utility:.1f} (on), {on.shed} shed')"
 
-report: lint test bench overload-smoke
+# Crash/restore differential on all three serving loops: kill the
+# scheduler mid-run, restore from the journal, and require the finished
+# ledger to be bit-identical to the uninterrupted run's.  On a mismatch
+# the failing cell's journal (JSONL) and digest diff land in
+# recovery_smoke_artifacts/ for offline replay (CI uploads them).
+recovery-smoke:
+	PYTHONPATH=src pytest tests/test_durability.py -q
+	PYTHONPATH=src python -c "from repro.experiments.recovery import recovery_smoke; recovery_smoke()"
+
+report: lint test bench overload-smoke recovery-smoke
 	python -m repro lint --format json --out lint_report.json
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

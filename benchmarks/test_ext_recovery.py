@@ -1,0 +1,115 @@
+"""Extension bench: durability plane — restart cost and disabled overhead.
+
+Two properties of the crash-consistent serving plane (docs/recovery.md):
+
+1. **Checkpoint-interval sweep** — `recovery_point` kills the scheduler
+   mid-run, restores from the journal and finishes.  Sparser snapshots
+   mean fewer checkpoint captures but a longer committed-record replay
+   at restore; the terminal ledger must be bit-identical to the
+   uninterrupted run's (`match == 1.0`) at *every* interval — restart
+   cost is tunable, correctness is not.
+2. **Disabled-path overhead gate** — mirroring the obs overhead gate:
+   a serving run with ``durability=None`` (every ``if dur is not
+   None:`` guard evaluated and skipped) stays within 2% wall time of
+   the same loop built without the keyword at all, min-of-repeats.
+   The journaling cost of an armed plane is reported alongside for
+   scale but not bounded — durability is opt-in.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import BatchConfig
+from repro.durability import DurabilityConfig, DurabilityPlane
+from repro.engine.concat import ConcatEngine
+from repro.experiments.recovery import run_recovery
+from repro.experiments.serving_sweeps import make_workload
+from repro.scheduling.das import DASScheduler
+from repro.serving.simulator import ServingSimulator
+
+BATCH = BatchConfig(num_rows=16, row_length=100)
+REPEATS = 7
+MAX_DISABLED_OVERHEAD = 1.02  # ≤ 2%
+
+
+def test_ext_recovery_checkpoint_sweep(benchmark, save_table):
+    def measure():
+        return run_recovery(intervals=(1, 2, 5, 10, 0), seeds=(0, 1))
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    assert all(m == 1.0 for m in out["match"]), (
+        "crash/restore ledger diverged from the uninterrupted run: "
+        f"match={out['match']}"
+    )
+    # Sparser checkpoints -> monotonically fewer snapshots; the
+    # genesis-only journal (interval 0) replays at least as much as the
+    # snapshot-every-step one.
+    snaps = out["snapshots"]
+    assert all(a >= b for a, b in zip(snaps, snaps[1:])), snaps
+    assert out["replayed"][-1] >= out["replayed"][0], out["replayed"]
+
+    from repro.experiments.tables import format_series_table
+
+    save_table(
+        "ext_recovery",
+        format_series_table(
+            out, "Extension — restart cost vs checkpoint interval"
+        ),
+    )
+
+
+def _run_once(**kwargs) -> float:
+    # ~100ms of serving per observation so a 2% budget is well above
+    # timer jitter.
+    wl = make_workload(300.0, horizon=10.0, seed=0)
+    sim = ServingSimulator(DASScheduler(BATCH), ConcatEngine(BATCH), **kwargs)
+    t0 = time.perf_counter()
+    sim.run(wl)
+    return time.perf_counter() - t0
+
+
+def _best_interleaved(*factories) -> list[float]:
+    # Min-of-repeats, one observation of each config per round: the
+    # best observation is the least noise-polluted estimate of the
+    # loop's intrinsic cost, and interleaving cancels slow drift
+    # (thermal / frequency scaling) that back-to-back blocks pick up.
+    best = [float("inf")] * len(factories)
+    for _ in range(REPEATS):
+        for i, factory in enumerate(factories):
+            best[i] = min(best[i], _run_once(**factory()))
+    return best
+
+
+def test_ext_recovery_disabled_overhead(benchmark, save_table):
+    def measure():
+        baseline, disabled, enabled = _best_interleaved(
+            dict,
+            lambda: {"durability": None},
+            lambda: {
+                "durability": DurabilityPlane(
+                    DurabilityConfig(checkpoint_every=5)
+                )
+            },
+        )
+        return {
+            "config": ["baseline", "disabled", "enabled"],
+            "wall_s": [baseline, disabled, enabled],
+            "ratio": [1.0, disabled / baseline, enabled / baseline],
+        }
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = out["ratio"][1]
+    assert ratio <= MAX_DISABLED_OVERHEAD, (
+        f"disabled durability costs {100 * (ratio - 1):.2f}% "
+        f"(budget {100 * (MAX_DISABLED_OVERHEAD - 1):.0f}%)"
+    )
+    from repro.experiments.tables import format_series_table
+
+    save_table(
+        "ext_recovery_overhead",
+        format_series_table(
+            out, "Extension — durability overhead (disabled ≤ 2%)"
+        ),
+    )

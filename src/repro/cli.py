@@ -99,6 +99,7 @@ def _ablations() -> dict[str, tuple[str, Callable[[], dict]]]:
         "sensitivity": ("cost-model sensitivity sweep", _run_sensitivity),
         "faults": ("serving under injected faults", _run_faults),
         "overload": ("goodput vs offered load, shedding off/on", _run_overload),
+        "recovery": ("crash/restore cost vs checkpoint interval", _run_recovery),
     }
 
 
@@ -118,6 +119,12 @@ def _run_overload():
     from repro.experiments.overload import run_overload
 
     return run_overload(seeds=(0, 1))
+
+
+def _run_recovery():
+    from repro.experiments.recovery import run_recovery
+
+    return run_recovery(seeds=(0, 1))
 
 
 def available_figures() -> list[str]:

@@ -1,0 +1,311 @@
+"""Rebuild serving state from latest snapshot + committed journal replay.
+
+The crash-boundary resolution rules (see ``docs/recovery.md``):
+
+- **committed** records (their step has a :class:`CommitRecord`) are
+  replayed onto the snapshot in journal order; list-valued state is
+  rebuilt by appending, scalar state is overwritten absolutely at each
+  commit — so replay is idempotent and replaying a prefix twice is
+  impossible by construction (a fresh deep copy is taken every call);
+- **uncommitted** trailing records are *voided*: the crashed step never
+  happened, and the resumed loop re-executes it deterministically from
+  the commit boundary (the restored RNG/fault-engine cursors guarantee
+  the re-execution consumes the same seeded events);
+- the one exception is **write-ahead enqueues in server mode**
+  (``recover_enqueues=True``): those submits were acknowledged to a
+  client, so they are recovered into the restored queue with duplicate
+  suppression — never served twice, never lost.
+
+Replay touches the queue only through its ledgered mutators
+(``drop``/``abandon``/``requeue``/``remove_served`` and the overload
+ledger's ``shed_requests``) so restored state obeys the same
+conservation discipline as live state; ``repro/durability/restore.py``
+carries the policy waiver for re-applying ledgered drops (tcblint
+TCB008).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.durability.journal import Journal
+from repro.durability.records import (
+    CommitRecord,
+    DispatchRecord,
+    EnqueueRecord,
+    RequeueRecord,
+    ShedRecord,
+    TerminalRecord,
+)
+from repro.obs.spans import TERMINAL_KINDS, EventKind
+from repro.overload.ledger import shed_requests
+from repro.scheduling.queue import RequestQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serving.metrics import ServingMetrics
+
+__all__ = ["RestoredState", "restore_state"]
+
+
+def _apply_tracer_delta(tstate: Optional[dict], delta: tuple) -> None:
+    """Replay one commit's tracer emissions onto the tracer-state dict."""
+    if tstate is None:
+        return
+    for item in delta:
+        tag = item[0]
+        if tag == "event":
+            _, rid, ev = item
+            tstate["events"].setdefault(rid, []).append(ev)
+            if ev.kind in TERMINAL_KINDS:
+                tstate["outcome"][rid] = ev.kind.value
+            if ev.kind is EventKind.SCHEDULED:
+                tstate["attempts"][rid] = ev.attrs.get(
+                    "attempt", tstate["attempts"].get(rid, 0)
+                )
+        elif tag == "dup":
+            tstate["duplicate_terminals"] += 1
+        elif tag == "batch":
+            tstate["batches"].append(item[1])
+        elif tag == "decision":
+            tstate["decisions"].append(item[1])
+        elif tag == "overload":
+            tstate["overload_events"].append(item[1])
+        elif tag == "durability":
+            tstate["durability_events"].append(item[1])
+
+
+@dataclass
+class RestoredState:
+    """Everything a loop needs to resume from the crash boundary.
+
+    ``queue``/``metrics`` are fresh objects the resumed loop owns;
+    tracer/overload/admission/engine state is applied *into* the
+    caller-held shared objects via :meth:`apply_shared` (loops keep
+    using ``self.trace`` / ``self.admission`` untouched).
+    """
+
+    step: int
+    now: float
+    next_arrival: int
+    rejected_before: int
+    queue: RequestQueue
+    metrics: ServingMetrics
+    tracer: Optional[dict] = None
+    overload: Optional[dict] = None
+    admission: Optional[tuple] = None
+    idle: Optional[list] = None
+    running: Optional[list] = None
+    iteration: Optional[int] = None
+    rng_state: Optional[dict] = None
+    engine_cursors: Optional[tuple] = None
+    extra: dict = field(default_factory=dict)
+    snapshot_seq: int = 0
+    replayed_records: int = 0
+    voided_records: int = 0
+    # (request, submit_time) pairs recovered from write-ahead enqueues.
+    recovered: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+
+    def apply_shared(
+        self,
+        *,
+        tracer: Any = None,
+        overload: Any = None,
+        admission: Any = None,
+        engines: Any = (),
+    ) -> None:
+        """Copy restored state in place into the caller-held objects."""
+        if (
+            tracer is not None
+            and self.tracer is not None
+            and hasattr(tracer, "events")
+        ):
+            t = self.tracer
+            tracer.events.clear()
+            tracer.events.update(
+                {rid: list(evs) for rid, evs in t["events"].items()}
+            )
+            tracer.batches[:] = t["batches"]
+            tracer.decisions[:] = t["decisions"]
+            tracer.overload_events[:] = t["overload_events"]
+            if hasattr(tracer, "durability_events"):
+                tracer.durability_events[:] = t["durability_events"]
+            tracer._outcome.clear()
+            tracer._outcome.update(t["outcome"])
+            tracer.duplicate_terminals = t["duplicate_terminals"]
+            tracer.attempts.clear()
+            tracer.attempts.update(t["attempts"])
+        if overload is not None and self.overload is not None:
+            o = self.overload
+            overload.level = o["level"]
+            overload.transitions[:] = o["transitions"]
+            overload.shed_total = o["shed_total"]
+            overload.denied = o["denied"]
+            overload._outcomes.clear()
+            overload._outcomes.extend(o["outcomes"])
+            overload._breakers.clear()
+            overload._breakers.update(copy.deepcopy(o["breakers"]))
+            if o["shedder_decision"] is not None:
+                overload._shedder._decision = o["shedder_decision"]
+        if admission is not None and self.admission is not None:
+            tokens, rejected = self.admission
+            admission._queued_tokens = tokens
+            admission.rejected[:] = list(rejected)
+        if engines and self.engine_cursors is not None:
+            for engine, cursors in zip(engines, self.engine_cursors):
+                if cursors is None or not hasattr(engine, "serve_calls"):
+                    continue
+                engine.serve_calls = cursors[0]
+                engine.straggler_events = cursors[1]
+                engine.down_until = cursors[2]
+
+
+def restore_state(
+    journal: Journal, *, recover_enqueues: bool = False
+) -> RestoredState:
+    """Latest snapshot + committed-record replay → :class:`RestoredState`.
+
+    Repeatable: every call deep-copies the snapshot payloads, so
+    restoring twice from the same journal yields two independent,
+    identical states.
+    """
+    snap = journal.latest_snapshot
+    if snap is None:
+        raise ValueError("cannot restore: journal holds no snapshot")
+
+    queue: RequestQueue = copy.deepcopy(snap.queue)
+    metrics: ServingMetrics = copy.deepcopy(snap.metrics)
+    tstate = copy.deepcopy(snap.tracer)
+    ovstate = copy.deepcopy(snap.overload)
+    admission = (
+        None
+        if snap.admission is None
+        else (snap.admission[0], list(snap.admission[1]))
+    )
+    idle = None if snap.idle is None else list(snap.idle)
+    running = None if snap.running is None else list(snap.running)
+    iteration = snap.iteration
+    rng_state = copy.deepcopy(snap.rng_state)
+    engine_cursors = snap.engine_cursors
+    extra = copy.deepcopy(snap.extra)
+    now = snap.now
+    next_arrival = snap.next_arrival
+    rejected_before = snap.rejected_before
+    step = snap.step
+
+    replayed = 0
+    for rec in journal.committed_records(snap.step):
+        replayed += 1
+        if isinstance(rec, EnqueueRecord):
+            rid = rec.request.request_id
+            if rid not in queue and rid not in queue.served_ids:
+                queue.add(rec.request)
+        elif isinstance(rec, DispatchRecord):
+            if rec.resident:
+                queue.remove_served(
+                    [r for r in rec.requests if r.request_id in queue]
+                )
+        elif isinstance(rec, TerminalRecord):
+            if rec.terminal == "served":
+                if rec.dequeue:
+                    queue.remove_served(
+                        [r for r in rec.requests if r.request_id in queue]
+                    )
+                for r in rec.requests:
+                    metrics.finish_times[r.request_id] = (
+                        r.arrival,
+                        rec.finish if rec.finish is not None else now,
+                    )
+                metrics.served.extend(rec.requests)
+            elif rec.terminal == "expired":
+                if rec.dequeue:
+                    # Mid-run expiry: back into queue.expired, folded
+                    # into metrics at end of run — same as live.
+                    queue.drop(list(rec.requests))
+                else:
+                    # End-of-run sweep of never-queued leftovers.
+                    metrics.expired.extend(rec.requests)
+            elif rec.terminal == "abandoned":
+                queue.abandon(list(rec.requests))
+            elif rec.terminal == "rejected":
+                metrics.rejected.extend(rec.requests)
+        elif isinstance(rec, RequeueRecord):
+            for rid, count in rec.attempts:
+                queue.attempts[rid] = count
+            if rec.readd:
+                queue.requeue(list(rec.retained))
+        elif isinstance(rec, ShedRecord):
+            # shed_requests bumps metrics.shed incrementally; the next
+            # commit overwrites it with the absolute recorded value.
+            shed_requests(queue, metrics, list(rec.requests), now)
+        elif isinstance(rec, CommitRecord):
+            st = rec.state
+            now = st.now
+            next_arrival = st.next_arrival
+            metrics.arrived = st.arrived
+            metrics.total_engine_time = st.engine_time
+            metrics.total_scheduler_time = st.scheduler_time
+            metrics.num_batches = st.num_batches
+            metrics.useful_tokens = st.useful_tokens
+            metrics.padded_tokens = st.padded_tokens
+            metrics.retries = st.retries
+            metrics.failed_batches = st.failed_batches
+            metrics.downtime = st.downtime
+            metrics.shed = st.shed
+            _apply_tracer_delta(tstate, st.tracer_delta)
+            if admission is not None:
+                admission[1].extend(st.admission_rejected)
+                if st.admission_tokens is not None:
+                    admission = (st.admission_tokens, admission[1])
+            if st.overload is not None:
+                ovstate = copy.deepcopy(st.overload)
+            if st.idle is not None:
+                idle = list(st.idle)
+            if st.running is not None:
+                running = list(st.running)
+            if st.iteration is not None:
+                iteration = st.iteration
+            if st.rng_state is not None:
+                rng_state = copy.deepcopy(st.rng_state)
+            if st.engine_cursors is not None:
+                engine_cursors = st.engine_cursors
+            if st.extra:
+                extra.update(copy.deepcopy(st.extra))
+            step = rec.step + 1
+
+    recovered: list = []
+    if recover_enqueues:
+        for enq in journal.uncommitted_enqueues():
+            rid = enq.request.request_id
+            if rid in queue or rid in queue.served_ids:
+                continue
+            queue.add(enq.request)
+            # A write-ahead enqueue was acknowledged to its client: it
+            # exists, so it re-enters the arrived denominator.
+            metrics.arrived += 1
+            recovered.append((enq.request, enq.submit_time))
+
+    return RestoredState(
+        step=step,
+        now=now,
+        next_arrival=next_arrival,
+        rejected_before=rejected_before,
+        queue=queue,
+        metrics=metrics,
+        tracer=tstate,
+        overload=ovstate,
+        admission=admission,
+        idle=idle,
+        running=running,
+        iteration=iteration,
+        rng_state=rng_state,
+        engine_cursors=engine_cursors,
+        extra=extra,
+        snapshot_seq=snap.seq,
+        replayed_records=replayed,
+        voided_records=len(journal.uncommitted_records()),
+        recovered=recovered,
+    )

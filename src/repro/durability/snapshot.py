@@ -1,0 +1,193 @@
+"""Snapshot: a deep, self-contained checkpoint of serving state.
+
+A :class:`Snapshot` freezes everything a serving loop needs to restart
+from a step boundary: the wait queue (contents, attempts map, terminal
+ledgers), the metrics ledger, tracer spans, overload-controller and
+circuit-breaker state, admission-controller pressure, per-loop
+structures (cluster idle heap, iteration-level residents, RNG cursor),
+and fault-engine cursors — so a restored run re-consumes the *same*
+seeded fault events the crashed run would have.
+
+Loops hand the plane a :class:`LiveState` carrier (built fresh by a
+zero-argument capture closure over the loop's locals); the snapshot
+deep-copies through it so later mutation of the live objects can never
+reach back into a checkpoint.
+
+Field discipline: every field annotated on :class:`Snapshot` must be
+consumed by :func:`repro.durability.restore.restore_state` — and every
+``snap.<field>`` read there must exist here.  tcblint TCB013 enforces
+both directions, so snapshot/restore drift is a lint error, not a
+latent recovery bug.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "LiveState",
+    "Snapshot",
+    "capture_engine_cursors",
+    "overload_state",
+    "tracer_state",
+]
+
+
+def tracer_state(tracer: Any) -> Optional[dict]:
+    """The tracer's mutable state as a plain dict (None when untraced).
+
+    Event objects are frozen dataclasses, so shallow list copies
+    suffice; the dict itself is deep-copied at snapshot time.
+    """
+    if tracer is None or not getattr(tracer, "enabled", False):
+        return None
+    if not hasattr(tracer, "events"):
+        return None
+    return {
+        "events": {rid: list(evs) for rid, evs in tracer.events.items()},
+        "batches": list(tracer.batches),
+        "decisions": list(tracer.decisions),
+        "overload_events": list(tracer.overload_events),
+        "durability_events": list(getattr(tracer, "durability_events", [])),
+        "outcome": dict(tracer._outcome),
+        "duplicate_terminals": tracer.duplicate_terminals,
+        "attempts": dict(tracer.attempts),
+    }
+
+
+def overload_state(ov: Any) -> Optional[dict]:
+    """The overload controller's mutable state (None when absent).
+
+    Breakers are deep-copied (they mutate in place); the shedder's
+    decision cursor rides along so a restored RandomShed replays the
+    same per-decision streams.
+    """
+    if ov is None:
+        return None
+    return {
+        "level": ov.level,
+        "transitions": list(ov.transitions),
+        "shed_total": ov.shed_total,
+        "denied": ov.denied,
+        "outcomes": list(ov._outcomes),
+        "breakers": copy.deepcopy(ov._breakers),
+        "shedder_decision": getattr(ov._shedder, "_decision", None),
+    }
+
+
+def capture_engine_cursors(engines: Any) -> Optional[tuple]:
+    """Fault-plane cursors per engine (None entries for plain engines).
+
+    A restored loop re-dispatches the in-flight batch; rolling these
+    cursors back guarantees the re-dispatch consumes exactly the fault
+    events the crashed dispatch consumed.
+    """
+    if not engines:
+        return None
+    out: list[Optional[tuple]] = []
+    for e in engines:
+        if hasattr(e, "serve_calls"):
+            out.append((e.serve_calls, e.straggler_events, e.down_until))
+        else:
+            out.append(None)
+    return tuple(out)
+
+
+@dataclass
+class LiveState:
+    """References + current values of one loop's running state.
+
+    Built fresh by the loop's capture closure on every plane call:
+    ``queue``/``metrics``/``tracer``/``overload``/``admission``/
+    ``engines``/``rng`` are the live objects; ``now``/``next_arrival``/
+    ``idle``/``running``/``iteration`` are the current local values
+    (``idle`` as the raw heap list, ``running`` as ``(request,
+    remaining_steps)`` pairs).
+    """
+
+    queue: Any
+    metrics: Any
+    now: float = 0.0
+    next_arrival: int = 0
+    rejected_before: int = 0
+    tracer: Any = None
+    overload: Any = None
+    admission: Any = None
+    engines: tuple = ()
+    idle: Optional[list] = None
+    running: Optional[list] = None
+    iteration: Optional[int] = None
+    rng: Any = None
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class Snapshot:
+    """One checkpoint: full state as of the start of ``step``.
+
+    Every field here must be consumed by ``restore_state`` (tcblint
+    TCB013 checks the pairing in both directions).
+    """
+
+    seq: int
+    step: int
+    now: float
+    next_arrival: int
+    rejected_before: int
+    queue: Any
+    metrics: Any
+    tracer: Optional[dict]
+    overload: Optional[dict]
+    admission: Optional[tuple]
+    idle: Optional[tuple]
+    running: Optional[tuple]
+    iteration: Optional[int]
+    rng_state: Optional[dict]
+    engine_cursors: Optional[tuple]
+    extra: dict
+
+    @classmethod
+    def capture(cls, live: LiveState, *, seq: int, step: int) -> "Snapshot":
+        return cls(
+            seq=seq,
+            step=step,
+            now=live.now,
+            next_arrival=live.next_arrival,
+            rejected_before=live.rejected_before,
+            queue=copy.deepcopy(live.queue),
+            metrics=copy.deepcopy(live.metrics),
+            tracer=copy.deepcopy(tracer_state(live.tracer)),
+            overload=overload_state(live.overload),
+            admission=(
+                None
+                if live.admission is None
+                else (
+                    live.admission._queued_tokens,
+                    list(live.admission.rejected),
+                )
+            ),
+            idle=None if live.idle is None else tuple(live.idle),
+            running=None if live.running is None else tuple(live.running),
+            iteration=live.iteration,
+            rng_state=(
+                None
+                if live.rng is None
+                else copy.deepcopy(live.rng.bit_generator.state)
+            ),
+            engine_cursors=capture_engine_cursors(live.engines),
+            extra=copy.deepcopy(live.extra),
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe projection for the differential report."""
+        return {
+            "seq": self.seq,
+            "step": self.step,
+            "now": self.now,
+            "next_arrival": self.next_arrival,
+            "queued": len(self.queue),
+            "served": self.metrics.num_served,
+            "arrived": self.metrics.arrived,
+        }

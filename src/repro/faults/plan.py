@@ -22,13 +22,23 @@ import numpy as np
 
 from repro.rng import ensure_rng
 
-__all__ = ["FaultKind", "FaultEvent", "FaultConfig", "FaultPlan"]
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultConfig",
+    "FaultPlan",
+    "SchedulerCrash",
+    "SchedulerCrashed",
+]
 
 # Stream-domain tag mixed into every SeedSequence key below.  Each
 # consumer of per-index child streams owns a distinct tag so two
 # components sharing an experiment seed can never consume the same
 # stream (tcblint TCB011); the shedding policies use a different tag.
 _STREAM_FAULT_PLAN = 0xFA
+# Scheduler-crash step draws use their own domain tag: a crash plan and
+# a fault plan sharing one experiment seed must stay independent.
+_STREAM_SCHEDULER_CRASH = 0xCC
 
 
 class FaultKind(enum.Enum):
@@ -123,6 +133,69 @@ class FaultConfig:
             crash_rate=0.1 * rate,
             **overrides,
         )
+
+
+class SchedulerCrashed(RuntimeError):
+    """A serving loop was killed mid-step by a :class:`SchedulerCrash`.
+
+    Raised by the durability plane at the planned crash point; carries
+    where the loop died so the recovery harness (and the differential
+    report) can name the boundary being resolved.
+    """
+
+    def __init__(self, step: int, phase: str):
+        super().__init__(
+            f"scheduler process crashed at step {step} ({phase})"
+        )
+        self.step = step
+        self.phase = phase
+
+
+@dataclass(frozen=True)
+class SchedulerCrash:
+    """Kill the *scheduler process* at a planned point, not an engine.
+
+    ``step`` is the serving-loop step index at which the crash fires;
+    ``phase`` says where inside the step:
+
+    - ``"step"`` — at the step boundary, right after the previous step
+      committed (the clean case: no trailing journal records),
+    - ``"dispatch"`` — after a batch's write-ahead dispatch record is
+      journalled but before the engine runs it (the hard case: restore
+      must void the in-flight dispatch and re-execute it).
+
+    A crash fires at most once; a restored run disarms it.
+    """
+
+    step: int
+    phase: str = "step"
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError(f"crash step must be >= 0, got {self.step}")
+        if self.phase not in ("step", "dispatch"):
+            raise ValueError(
+                f"crash phase must be 'step' or 'dispatch', got {self.phase!r}"
+            )
+
+    @classmethod
+    def seeded(
+        cls, seed: int, *, max_step: int, phase: str = "step"
+    ) -> "SchedulerCrash":
+        """Draw the crash step from ``(seed, domain, 0)`` — replayable.
+
+        ``max_step`` bounds the draw (exclusive); the same seed always
+        kills the same step, independent of anything else the seed
+        feeds (distinct stream-domain tag, tcblint TCB011).
+        """
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        if max_step < 1:
+            raise ValueError(f"max_step must be >= 1, got {max_step}")
+        rng = ensure_rng(
+            np.random.SeedSequence((int(seed), _STREAM_SCHEDULER_CRASH, 0))
+        )
+        return cls(step=int(rng.integers(0, max_step)), phase=phase)
 
 
 class FaultPlan:

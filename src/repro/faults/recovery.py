@@ -123,7 +123,11 @@ def serve_slot(
             failures += 1
             wasted += max(failure.latency, MIN_SLOT)
             if failure.kind == "oom" and len(batch) > 1:
-                batch = batch[: len(batch) // 2]
+                # Ceil-half: an odd batch keeps its larger half, so the
+                # ladder is 5 -> 3 -> 2 -> 1 (floor-halving 5 -> 2 -> 1
+                # dropped more than half on odd sizes).  Still strictly
+                # decreasing for len > 1, so the retry terminates.
+                batch = batch[: (len(batch) + 1) // 2]
                 split_retries += len(batch)
                 continue
             return SlotOutcome(

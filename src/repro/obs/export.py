@@ -2,7 +2,7 @@
 
 Chrome format (loadable in ``chrome://tracing`` / Perfetto): one
 complete event (``ph: "X"``) per lifecycle span, instant events
-(``ph: "i"``) for terminal outcomes, and three fixed process lanes —
+(``ph: "i"``) for terminal outcomes, and fixed process lanes —
 
 ====  ===========  ============================================
 pid   lane         tid convention
@@ -10,7 +10,13 @@ pid   lane         tid convention
 1     requests     request_id
 2     engines      engine index (cluster lanes)
 3     scheduler    0
+4     overload     engine index for breaker events, else 0
+5     durability   0 (snapshots/commits/crashes/restores)
 ====  ===========  ============================================
+
+Lanes 4 and 5 are *conditional*: their metadata entries appear only
+when the trace actually carries overload / durability events, so
+traces from plain runs keep exactly the three classic lanes.
 
 Timestamps are simulated seconds scaled to microseconds (Chrome's
 ``ts`` unit); every request event also carries the raw sim-time values
@@ -34,6 +40,7 @@ __all__ = [
     "PID_ENGINES",
     "PID_SCHEDULER",
     "PID_OVERLOAD",
+    "PID_DURABILITY",
     "TIME_SCALE",
     "chrome_trace",
     "chrome_trace_json",
@@ -50,6 +57,10 @@ PID_SCHEDULER = 3
 # metadata entry is only emitted when a trace actually carries overload
 # events, so pre-overload traces keep exactly the three classic lanes.
 PID_OVERLOAD = 4
+# Durability-plane lane (snapshots, commits, crashes, restores).  Like
+# the overload lane its metadata entry is emitted only when the trace
+# carries durability events, so pre-durability traces are unchanged.
+PID_DURABILITY = 5
 
 # Simulated seconds -> Chrome's microsecond ``ts`` unit.
 TIME_SCALE = 1e6
@@ -59,10 +70,14 @@ _PROCESS_NAMES = {
     PID_ENGINES: "engines",
     PID_SCHEDULER: "scheduler",
     PID_OVERLOAD: "overload",
+    PID_DURABILITY: "durability",
 }
 
+# Lanes whose metadata is conditional on the trace actually using them.
+_OPTIONAL_PIDS = (PID_OVERLOAD, PID_DURABILITY)
 
-def _metadata_events(*, with_overload: bool = False) -> list[dict[str, Any]]:
+
+def _metadata_events(*, active: frozenset[int] = frozenset()) -> list[dict[str, Any]]:
     return [
         {
             "name": "process_name",
@@ -74,16 +89,23 @@ def _metadata_events(*, with_overload: bool = False) -> list[dict[str, Any]]:
             "args": {"name": label},
         }
         for pid, label in sorted(_PROCESS_NAMES.items())
-        if with_overload or pid != PID_OVERLOAD
+        if pid not in _OPTIONAL_PIDS or pid in active
     ]
 
 
 def chrome_trace(tracer: Tracer) -> dict[str, Any]:
     """Lower a recorded trace to a Chrome ``trace_event`` document."""
     overload = getattr(tracer, "overload_events", [])
-    events: list[dict[str, Any]] = _metadata_events(
-        with_overload=bool(overload)
+    durability = getattr(tracer, "durability_events", [])
+    active = frozenset(
+        pid
+        for pid, used in (
+            (PID_OVERLOAD, overload),
+            (PID_DURABILITY, durability),
+        )
+        if used
     )
+    events: list[dict[str, Any]] = _metadata_events(active=active)
     for span in tracer.spans():
         args = {
             "request_id": span.request_id,
@@ -143,6 +165,19 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
                 # Breaker events get the engine's lane; sheds/levels 0.
                 "tid": int(ov.attrs.get("engine", 0)),
                 "args": {"t": ov.t, **ov.attrs},
+            }
+        )
+    for du in durability:
+        events.append(
+            {
+                "name": du.kind,
+                "cat": "durability",
+                "ph": "i",
+                "s": "t",
+                "ts": du.t * TIME_SCALE,
+                "pid": PID_DURABILITY,
+                "tid": 0,
+                "args": {"t": du.t, **du.attrs},
             }
         )
     return {

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Sequence
 from repro.obs.spans import (
     TERMINAL_KINDS,
     BatchEvent,
+    DurabilityEvent,
     EventKind,
     OverloadEvent,
     RequestEvent,
@@ -80,6 +81,13 @@ class Tracer:
         self.duplicate_terminals = 0
         # request_id -> number of times scheduled (attempt counter).
         self.attempts: dict[int, int] = {}
+        # Durability-plane actions: snapshots, commits, crash, restore.
+        self.durability_events: list[DurabilityEvent] = []
+        # Optional journal sink: when the durability plane attaches a
+        # list here, every post-dedupe emission is mirrored into it as a
+        # tagged tuple, giving the plane an exact per-step delta of the
+        # tracer's grow-only state (drained at each commit).
+        self.sink: Optional[list] = None
 
     # ------------------------------------------------------------------ #
     # Emission (called by the serving loops, guarded by ``enabled``)
@@ -98,6 +106,8 @@ class Tracer:
         if kind in TERMINAL_KINDS:
             if rid in self._outcome:
                 self.duplicate_terminals += 1
+                if self.sink is not None:
+                    self.sink.append(("dup", rid))
                 return
             self._outcome[rid] = kind.value
             # A request factually stayed unserved until its last recorded
@@ -105,9 +115,10 @@ class Tracer:
             history = self.events.get(rid)
             if history:
                 t = max(t, history[-1].t)
-        self.events.setdefault(rid, []).append(
-            RequestEvent(kind=kind, t=t, attrs=dict(attrs or {}))
-        )
+        event = RequestEvent(kind=kind, t=t, attrs=dict(attrs or {}))
+        self.events.setdefault(rid, []).append(event)
+        if self.sink is not None:
+            self.sink.append(("event", rid, event))
 
     def arrive(self, request: Request, t: float) -> None:
         self._emit(request, EventKind.ARRIVE, t, {"length": request.length})
@@ -194,26 +205,40 @@ class Tracer:
     ) -> None:
         if not self.enabled:
             return
-        self.batches.append(
-            BatchEvent(
-                t_start=t, duration=duration, engine=engine, kind=kind, attrs=attrs
-            )
+        event = BatchEvent(
+            t_start=t, duration=duration, engine=engine, kind=kind, attrs=attrs
         )
+        self.batches.append(event)
+        if self.sink is not None:
+            self.sink.append(("batch", event))
 
     def decision(
         self, t: float, runtime: float, attrs: Optional[Mapping[str, Any]] = None
     ) -> None:
         if not self.enabled:
             return
-        self.decisions.append(
-            SchedulerEvent(t=t, runtime=runtime, attrs=dict(attrs or {}))
-        )
+        event = SchedulerEvent(t=t, runtime=runtime, attrs=dict(attrs or {}))
+        self.decisions.append(event)
+        if self.sink is not None:
+            self.sink.append(("decision", event))
 
     def overload(self, t: float, kind: str, **attrs: Any) -> None:
         """Record one overload-plane action (shed / level / breaker)."""
         if not self.enabled:
             return
-        self.overload_events.append(OverloadEvent(t=t, kind=kind, attrs=attrs))
+        event = OverloadEvent(t=t, kind=kind, attrs=attrs)
+        self.overload_events.append(event)
+        if self.sink is not None:
+            self.sink.append(("overload", event))
+
+    def durability(self, t: float, kind: str, **attrs: Any) -> None:
+        """Record one durability-plane action (snapshot / commit / …)."""
+        if not self.enabled:
+            return
+        event = DurabilityEvent(t=t, kind=kind, attrs=attrs)
+        self.durability_events.append(event)
+        if self.sink is not None:
+            self.sink.append(("durability", event))
 
     # ------------------------------------------------------------------ #
     # Derived views

@@ -36,6 +36,7 @@ __all__ = [
     "BatchEvent",
     "SchedulerEvent",
     "OverloadEvent",
+    "DurabilityEvent",
 ]
 
 
@@ -122,6 +123,24 @@ class OverloadEvent:
     breaker state change with its engine index).  These live in their
     own lane: they are control-plane decisions *about* requests and
     engines, not lifecycle steps of any single request.
+    """
+
+    t: float
+    kind: str
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DurabilityEvent:
+    """One durability-plane action, on the simulated clock.
+
+    ``kind`` names the action — ``"snapshot"`` (a checkpoint was taken,
+    with its sequence number and step), ``"commit"`` (a step was sealed
+    into the journal), ``"crash"`` (a planned scheduler crash fired),
+    ``"restore"`` (state was rebuilt from snapshot + replay, with the
+    replayed/voided record counts).  Like overload events these are
+    control-plane actions, not lifecycle steps of any request, so they
+    live in their own lane.
     """
 
     t: float

@@ -42,6 +42,19 @@ class RequestQueue:
     def __len__(self) -> int:
         return len(self._waiting)
 
+    def __contains__(self, request_id: int) -> bool:
+        """Whether *request_id* is currently waiting (O(1))."""
+        return request_id in self._waiting
+
+    def waiting_ids(self) -> list[int]:
+        """All queued request ids in insertion (arrival) order.
+
+        Unlike :meth:`waiting` this does not filter by time — it is the
+        raw queue content, used by the durability plane to fingerprint
+        and rebuild queue state without reaching into ``_waiting``.
+        """
+        return list(self._waiting)
+
     @property
     def queued_tokens(self) -> int:
         """Total prompt tokens currently waiting."""

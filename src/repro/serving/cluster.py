@@ -26,6 +26,9 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Optional, Sequence
 
+from repro.durability.plane import DurabilityPlane
+from repro.durability.restore import RestoredState
+from repro.durability.snapshot import LiveState
 from repro.engine.base import InferenceEngine
 from repro.faults.recovery import RetryPolicy, requeue_failed, serve_slot
 from repro.obs.recorder import NO_TRACE, Tracer
@@ -55,6 +58,7 @@ class ClusterSimulator:
         retry: Optional[RetryPolicy] = None,
         trace: Optional[Tracer] = None,
         overload: Optional[OverloadController] = None,
+        durability: Optional[DurabilityPlane] = None,
     ):
         if not engines:
             raise ValueError("need at least one engine")
@@ -67,6 +71,10 @@ class ClusterSimulator:
         # index, so a sick replica is quarantined while the rest of the
         # cluster keeps draining the shared queue.
         self.overload = overload
+        # Durability plane (off by default; see docs/recovery.md).  The
+        # idle heap is part of the snapshot, so a restore resumes with
+        # every engine's busy-until clock intact.
+        self.durability = durability
 
     def _release(self, requests: Iterable[Request]) -> None:
         if self.admission is not None:
@@ -85,29 +93,71 @@ class ClusterSimulator:
         workload: WorkloadGenerator | Sequence[Request],
         *,
         horizon: Optional[float] = None,
+        resume: Optional[RestoredState] = None,
     ) -> SimulationResult:
         requests, horizon = resolve_workload(workload, horizon)
 
         tr = self.trace if self.trace is not None else NO_TRACE
-        metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
-        result = SimulationResult(metrics=metrics)
-        queue = RequestQueue()
         ov = self.overload
-        if ov is not None:
-            ov.begin_run()
-        rejected_before = (
-            len(self.admission.rejected) if self.admission is not None else 0
-        )
-
-        # (idle_at, tiebreak, engine_index) priority queue.
-        idle: list[tuple[float, int, int]] = [
-            (0.0, i, i) for i in range(len(self.engines))
-        ]
-        heapq.heapify(idle)
-        next_arrival = 0
+        dur = self.durability
+        if resume is not None:
+            if dur is None:
+                raise ValueError("resume= requires a durability plane")
+            metrics = resume.metrics
+            metrics.horizon = horizon
+            queue = resume.queue
+            now = resume.now
+            next_arrival = resume.next_arrival
+            rejected_before = resume.rejected_before
+            idle = [tuple(e) for e in (resume.idle or [])]
+            heapq.heapify(idle)
+            resume.apply_shared(
+                tracer=tr,
+                overload=ov,
+                admission=self.admission,
+                engines=self.engines,
+            )
+        else:
+            metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
+            queue = RequestQueue()
+            if ov is not None:
+                ov.begin_run()
+            rejected_before = (
+                len(self.admission.rejected)
+                if self.admission is not None
+                else 0
+            )
+            # (idle_at, tiebreak, engine_index) priority queue.
+            idle = [(0.0, i, i) for i in range(len(self.engines))]
+            heapq.heapify(idle)
+            now = 0.0
+            next_arrival = 0
+        result = SimulationResult(metrics=metrics)
         n = len(requests)
 
+        if dur is not None:
+
+            def _live() -> LiveState:
+                return LiveState(
+                    queue=queue,
+                    metrics=metrics,
+                    now=now,
+                    next_arrival=next_arrival,
+                    rejected_before=rejected_before,
+                    tracer=tr if tr.enabled else None,
+                    overload=ov,
+                    admission=self.admission,
+                    engines=self.engines,
+                    idle=list(idle),
+                )
+
+            dur.begin_run(_live, tr, resume=resume)
+
         while idle:
+            # Step boundary before the pop: the snapshot's idle heap
+            # still holds the engine this step is about to claim.
+            if dur is not None:
+                dur.tick()
             now, _, engine_idx = heapq.heappop(idle)
             if now >= horizon:
                 break
@@ -120,12 +170,16 @@ class ClusterSimulator:
                         if tr.enabled:
                             tr.arrive(r, r.arrival)
                             tr.rejected(r, r.arrival)
+                        if dur is not None:
+                            dur.terminal("rejected", [r], dequeue=False)
                         next_arrival += 1
                         continue
                     queue.add(r)
                     if tr.enabled:
                         tr.arrive(r, r.arrival)
                         tr.enqueue(r, r.arrival)
+                    if dur is not None:
+                        dur.enqueue(r)
                 elif tr.enabled:
                     tr.arrive(r, r.arrival)
                     tr.rejected(r, r.arrival)
@@ -134,11 +188,15 @@ class ClusterSimulator:
             if tr.enabled:
                 tr.expired(dead, now)
             self._release(dead)
+            if dur is not None:
+                dur.terminal("expired", dead)
             if ov is not None:
                 ov.observe_outcomes(missed=len(dead))
                 ov.update(now, queue, tr)
                 shed = ov.maybe_shed(queue, metrics, now, tr)
                 self._release(shed)
+                if dur is not None:
+                    dur.shed(shed)
             waiting = queue.waiting(now)
             if not waiting:
                 if next_arrival < n:
@@ -198,6 +256,8 @@ class ClusterSimulator:
                 if unservable:
                     drop_unservable(queue, unservable, now, tr)
                     self._release(unservable)
+                    if dur is not None:
+                        dur.terminal("expired", unservable)
                     heapq.heappush(idle, (now, engine_idx, engine_idx))
                 elif next_arrival < n:
                     heapq.heappush(
@@ -222,6 +282,8 @@ class ClusterSimulator:
                 selected = ov.cap_batch(selected)
             if tr.enabled:
                 tr.scheduled(selected, now)
+            if dur is not None:
+                dur.dispatch(selected, engine=engine_idx)
             outcome = serve_slot(engine, selected, now)
             metrics.failed_batches += outcome.failures
             metrics.retries += outcome.split_retries
@@ -266,6 +328,8 @@ class ClusterSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if dur is not None:
+                    dur.requeued(queue, outcome.failed, retained, lost)
                 if ov is not None:
                     ov.observe_outcomes(missed=len(lost))
                 heapq.heappush(
@@ -281,6 +345,8 @@ class ClusterSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if dur is not None:
+                    dur.requeued(queue, outcome.failed, retained, lost)
                 if ov is not None:
                     ov.observe_outcomes(missed=len(lost))
                 heapq.heappush(
@@ -322,6 +388,8 @@ class ClusterSimulator:
                 tr.served(batch_result.served, finish)
             queue.remove_served(batch_result.served)
             self._release(batch_result.served)
+            if dur is not None:
+                dur.served(batch_result.served, finish)
             if ov is not None:
                 on_time = sum(
                     1 for r in batch_result.served if finish <= r.deadline
@@ -345,6 +413,9 @@ class ClusterSimulator:
             for r in requests[next_arrival:]:
                 tr.arrive(r, r.arrival)
             tr.expired(requests[next_arrival:], horizon)
+        if dur is not None:
+            dur.terminal("expired", dead)
+            dur.end_run(requests[next_arrival:])
         metrics.expired.extend(queue.expired)
         metrics.expired.extend(requests[next_arrival:])
         metrics.abandoned.extend(queue.abandoned)

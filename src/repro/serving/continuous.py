@@ -33,12 +33,16 @@ the batch-level loops.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.config import BatchConfig
+from repro.durability.plane import DurabilityPlane
+from repro.durability.restore import RestoredState
+from repro.durability.snapshot import LiveState
 from repro.engine.cost_model import GPUCostModel
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.faults.recovery import RetryPolicy, requeue_failed
@@ -78,6 +82,7 @@ class ContinuousBatchingSimulator:
         retry: Optional[RetryPolicy] = None,
         trace: Optional[Tracer] = None,
         overload: Optional[OverloadController] = None,
+        durability: Optional[DurabilityPlane] = None,
     ):
         if mean_output_tokens < 1:
             raise ValueError("mean_output_tokens must be >= 1")
@@ -98,6 +103,10 @@ class ContinuousBatchingSimulator:
         # Overload plane (off by default): bounded wait queue + shedding,
         # brownout token-budget shrink, breaker over iteration faults.
         self.overload = overload
+        # Durability plane (off by default; see docs/recovery.md).  The
+        # resident set and the output-length RNG cursor are part of the
+        # snapshot, so a restore re-draws the same decode lengths.
+        self.durability = durability
 
     def _event(self, iteration: int) -> FaultEvent:
         if self.fault_plan is None or self.fault_plan.config.is_zero:
@@ -116,26 +125,64 @@ class ContinuousBatchingSimulator:
         workload: WorkloadGenerator | Sequence[Request],
         *,
         horizon: Optional[float] = None,
+        resume: Optional[RestoredState] = None,
     ) -> ServingMetrics:
         requests, horizon = resolve_workload(workload, horizon)
 
         rng = ensure_rng(self.rng, default_seed=self.seed)
         tr = self.trace if self.trace is not None else NO_TRACE
-        metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
-        queue = RequestQueue()
         ov = self.overload
-        if ov is not None:
-            ov.begin_run()
-        running: list[_Running] = []
+        dur = self.durability
+        if resume is not None:
+            if dur is None:
+                raise ValueError("resume= requires a durability plane")
+            metrics = resume.metrics
+            metrics.horizon = horizon
+            queue = resume.queue
+            now = resume.now
+            next_arrival = resume.next_arrival
+            iteration = resume.iteration or 0
+            running = [
+                _Running(req, steps) for req, steps in (resume.running or ())
+            ]
+            if resume.rng_state is not None:
+                rng.bit_generator.state = copy.deepcopy(resume.rng_state)
+            resume.apply_shared(tracer=tr, overload=ov)
+        else:
+            metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
+            queue = RequestQueue()
+            if ov is not None:
+                ov.begin_run()
+            running = []
+            now = 0.0
+            next_arrival = 0
+            iteration = 0
         budget = self.batch.capacity_tokens
         key = self._admission_key()
-
-        now = 0.0
-        next_arrival = 0
-        iteration = 0
         n = len(requests)
 
+        if dur is not None:
+
+            def _live() -> LiveState:
+                return LiveState(
+                    queue=queue,
+                    metrics=metrics,
+                    now=now,
+                    next_arrival=next_arrival,
+                    tracer=tr if tr.enabled else None,
+                    overload=ov,
+                    running=[
+                        (r.request, r.remaining_steps) for r in running
+                    ],
+                    iteration=iteration,
+                    rng=rng,
+                )
+
+            dur.begin_run(_live, tr, resume=resume)
+
         while now < horizon:
+            if dur is not None:
+                dur.tick()
             if ov is not None and not ov.breaker_allow(0, now, tr):
                 # Breaker open: no iterations (decode or prefill) until
                 # the recovery interval elapses; jump the clock there.
@@ -148,20 +195,28 @@ class ContinuousBatchingSimulator:
                     if tr.enabled:
                         tr.arrive(r, r.arrival)
                         tr.rejected(r, r.arrival)
+                    if dur is not None:
+                        dur.terminal("rejected", [r], dequeue=False)
                     next_arrival += 1
                     continue
                 queue.add(r)
                 if tr.enabled:
                     tr.arrive(r, r.arrival)
                     tr.enqueue(r, r.arrival)
+                if dur is not None:
+                    dur.enqueue(r)
                 next_arrival += 1
             dead = queue.expire(now)
             if tr.enabled:
                 tr.expired(dead, now)
+            if dur is not None:
+                dur.terminal("expired", dead)
             if ov is not None:
                 ov.observe_outcomes(missed=len(dead))
                 ov.update(now, queue, tr)
-                ov.maybe_shed(queue, metrics, now, tr)
+                shed = ov.maybe_shed(queue, metrics, now, tr)
+                if dur is not None:
+                    dur.shed(shed)
 
             # Admit while there is token budget (shrunk under brownout).
             iter_budget = budget if ov is None else ov.scale_budget(budget)
@@ -180,6 +235,8 @@ class ContinuousBatchingSimulator:
             prefill_tokens = 0
             prefill_entries = 0
             if admitted:
+                if dur is not None:
+                    dur.dispatch(admitted, resident=True)
                 queue.remove_served(admitted)  # leaves the wait queue
                 if tr.enabled:
                     tr.scheduled(admitted, now)
@@ -219,6 +276,8 @@ class ContinuousBatchingSimulator:
                 if tr.enabled:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
+                if dur is not None:
+                    dur.requeued(queue, residents, retained, lost, readd=True)
                 if ov is not None:
                     ov.observe_outcomes(missed=len(lost))
                     ov.record_result(0, now, ok=False, kind="crash", tracer=tr)
@@ -247,6 +306,8 @@ class ContinuousBatchingSimulator:
                 if tr.enabled:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
+                if dur is not None:
+                    dur.requeued(queue, victims, retained, lost, readd=True)
                 if ov is not None:
                     ov.observe_outcomes(missed=len(lost))
                     ov.record_result(0, now, ok=False, kind="oom", tracer=tr)
@@ -309,6 +370,8 @@ class ContinuousBatchingSimulator:
             running = still
             if tr.enabled and finished:
                 tr.served(finished, now)
+            if dur is not None:
+                dur.served(finished, now, dequeue=False)
             if ov is not None and finished:
                 on_time = sum(1 for r in finished if now <= r.deadline)
                 ov.observe_outcomes(
@@ -325,6 +388,12 @@ class ContinuousBatchingSimulator:
             for r in requests[next_arrival:]:
                 tr.arrive(r, r.arrival)
             tr.expired(requests[next_arrival:], horizon)
+        if dur is not None:
+            dur.terminal(
+                "expired", [r.request for r in running], dequeue=False
+            )
+            dur.terminal("expired", dead)
+            dur.end_run(requests[next_arrival:])
         metrics.expired.extend(queue.expired)
         metrics.expired.extend(requests[next_arrival:])
         metrics.abandoned.extend(queue.abandoned)

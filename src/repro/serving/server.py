@@ -20,7 +20,6 @@ conservation invariant holds once the queue is drained.
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -30,6 +29,9 @@ import numpy as np
 from repro.config import BatchConfig, ModelConfig, SchedulerConfig
 from repro.core.layout import BatchLayout
 from repro.core.packing import pack_in_order
+from repro.durability.plane import DurabilityConfig, DurabilityPlane
+from repro.durability.restore import RestoredState
+from repro.durability.snapshot import LiveState
 from repro.model.seq2seq import Seq2SeqModel
 from repro.overload.backpressure import BackpressureError
 from repro.overload.controller import OverloadController
@@ -81,6 +83,8 @@ class TCBServer:
         default_slack: float = 60.0,
         admission: Optional[AdmissionController] = None,
         overload: Optional[OverloadController] = None,
+        durability: Optional[DurabilityPlane] = None,
+        checkpoint_every: int = 0,
     ):
         self.model_config = model_config or ModelConfig.tiny()
         self.batch = batch or BatchConfig(num_rows=4, row_length=32)
@@ -98,11 +102,22 @@ class TCBServer:
         # refused ones); conservation holds once the queue drains.
         self.metrics = ServingMetrics()
         self._queue = RequestQueue()
-        self._ids = itertools.count()
+        self._next_id = 0
         self._submit_times: dict[int, float] = {}
         self._responses: dict[int, Response] = {}
         # True when the last run_until_drained() hit its step budget.
         self.drain_exhausted = False
+        # Durability plane (docs/recovery.md): submits are write-ahead
+        # journaled before being acknowledged, so a warm restart can
+        # recover every acknowledged-but-unserved request exactly once.
+        # Armed lazily on the first submit/step so a server built over
+        # an existing journal can warm_restart() from it instead.
+        if durability is None and checkpoint_every > 0:
+            durability = DurabilityPlane(
+                DurabilityConfig(checkpoint_every=checkpoint_every)
+            )
+        self.durability = durability
+        self._dur_armed = False
         # TCBServer is the *online* facade: unlike the discrete-event
         # simulators, its clock really is wall-clock.
         self._t0 = time.perf_counter()  # tcblint: disable=TCB003
@@ -111,6 +126,59 @@ class TCBServer:
 
     def _now(self) -> float:
         return time.perf_counter() - self._t0  # tcblint: disable=TCB003
+
+    def _live(self) -> LiveState:
+        return LiveState(
+            queue=self._queue,
+            metrics=self.metrics,
+            now=self._now(),
+            overload=self.overload,
+            admission=self.admission,
+            extra={
+                "next_id": self._next_id,
+                "submit_times": dict(self._submit_times),
+            },
+        )
+
+    def _arm_durability(self) -> None:
+        if self.durability is not None and not self._dur_armed:
+            self._dur_armed = True
+            self.durability.begin_run(self._live)
+
+    def warm_restart(self) -> RestoredState:
+        """Rebuild this server's state from its durability journal.
+
+        Restores the latest snapshot plus committed journal replay, then
+        recovers write-ahead (acknowledged but uncommitted) submits with
+        duplicate suppression — exactly-once: never served twice, never
+        lost.  Responses already delivered before the crash are not
+        reconstructed (their output tokens are not journaled); recovered
+        requests are re-served by the next steps and the deterministic
+        model regenerates identical outputs.
+        """
+        dur = self.durability
+        if dur is None:
+            raise ValueError("warm restart requires a durability plane")
+        state = dur.restore(recover_enqueues=True)
+        self._queue = state.queue
+        self.metrics = state.metrics
+        # The online ledger folds expiry immediately (no end-of-run
+        # sweep), so the metrics bucket mirrors the queue's ledger.
+        self.metrics.expired[:] = list(state.queue.expired)
+        state.apply_shared(
+            overload=self.overload, admission=self.admission
+        )
+        extra = state.extra
+        self._submit_times = dict(extra.get("submit_times", {}))
+        self._next_id = extra.get("next_id", 0)
+        for req, submit_time in state.recovered:
+            if submit_time is not None:
+                self._submit_times[req.request_id] = submit_time
+            self._next_id = max(self._next_id, req.request_id + 1)
+        self._responses = {}
+        self._dur_armed = True
+        dur.begin_run(self._live, resume=state)
+        return state
 
     def submit(
         self, tokens: Sequence[int], *, deadline_slack: Optional[float] = None
@@ -123,7 +191,9 @@ class TCBServer:
                 f"request of {len(tokens)} tokens exceeds row length "
                 f"{self.batch.row_length}"
             )
-        rid = next(self._ids)
+        self._arm_durability()
+        rid = self._next_id
+        self._next_id += 1
         now = self._now()
         slack = self.default_slack if deadline_slack is None else deadline_slack
         req = Request(
@@ -146,19 +216,30 @@ class TCBServer:
                 and pressure.queued_tokens + req.length > limits.max_tokens
             ):
                 self.metrics.rejected.append(req)
+                self._journal_rejected(req)
                 raise BackpressureError("queue-full", pressure)
         if self.admission is not None and not self.admission.admit(req, now):
             reason = self.admission.check(req, now).reason
             self.metrics.rejected.append(req)
+            self._journal_rejected(req)
             raise BackpressureError(f"admission: {reason}")
         if ov is not None and not ov.admit(req, now):
             if self.admission is not None:
                 self.admission.release([req])
             self.metrics.rejected.append(req)
+            self._journal_rejected(req)
             raise BackpressureError(f"degraded ({ov.level.label})")
         self._queue.add(req)
         self._submit_times[rid] = now
+        if self.durability is not None:
+            # Write-ahead: the submit is durable before it is
+            # acknowledged to the caller by returning the id.
+            self.durability.enqueue(req, submit_time=now)
         return rid
+
+    def _journal_rejected(self, req: Request) -> None:
+        if self.durability is not None:
+            self.durability.terminal("rejected", [req], dequeue=False)
 
     def _release(self, requests: Sequence[Request]) -> None:
         if self.admission is not None:
@@ -166,16 +247,24 @@ class TCBServer:
 
     def step(self) -> list[Response]:
         """Run one engine slot; returns responses finished this step."""
+        self._arm_durability()
+        dur = self.durability
+        if dur is not None:
+            dur.tick()
         now = self._now()
         ov = self.overload
         dead = self._queue.expire(now)
         self.metrics.expired.extend(dead)
         self._release(dead)
+        if dur is not None:
+            dur.terminal("expired", dead)
         if ov is not None:
             ov.observe_outcomes(missed=len(dead))
             ov.update(now, self._queue)
             shed = ov.maybe_shed(self._queue, self.metrics, now)
             self._release(shed)
+            if dur is not None:
+                dur.shed(shed)
             if not ov.breaker_allow(0, now):
                 return []
         waiting = self._queue.waiting(now)
@@ -187,6 +276,8 @@ class TCBServer:
             return []
         if ov is not None:
             selected = ov.cap_batch(selected)
+        if dur is not None:
+            dur.dispatch(selected)
         packing = pack_in_order(
             selected, self.batch.num_rows, self.batch.row_length
         )
@@ -209,6 +300,8 @@ class TCBServer:
                 req.arrival, finished_at,
             )
         self.metrics.num_batches += 1
+        if dur is not None:
+            dur.served(packing.packed, finished_at)
         out: list[Response] = []
         for req in packing.packed:
             resp = Response(

@@ -26,6 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.durability.plane import DurabilityPlane
+from repro.durability.restore import RestoredState
+from repro.durability.snapshot import LiveState
 from repro.engine.base import BatchResult, InferenceEngine
 from repro.faults.recovery import RetryPolicy, requeue_failed, serve_slot
 from repro.obs.recorder import NO_TRACE, Tracer
@@ -64,6 +67,7 @@ class ServingSimulator:
         retry: Optional[RetryPolicy] = None,
         trace: Optional[Tracer] = None,
         overload: Optional[OverloadController] = None,
+        durability: Optional[DurabilityPlane] = None,
     ):
         self.scheduler = scheduler
         self.engine = engine
@@ -78,6 +82,10 @@ class ServingSimulator:
         # circuit breaker) is off by default: without a controller the
         # loop takes exactly its pre-overload paths.
         self.overload = overload
+        # Durability plane (snapshot/journal, see docs/recovery.md) is
+        # off by default: without a plane the loop takes exactly its
+        # pre-durability paths, bit-identical to today.
+        self.durability = durability
 
     def _release(self, requests: Iterable[Request]) -> None:
         """Tell the admission controller requests left the queue."""
@@ -89,28 +97,73 @@ class ServingSimulator:
         workload: WorkloadGenerator | Sequence[Request],
         *,
         horizon: Optional[float] = None,
+        resume: Optional[RestoredState] = None,
     ) -> SimulationResult:
-        """Simulate serving the workload; returns metrics (+slot log)."""
+        """Simulate serving the workload; returns metrics (+slot log).
+
+        ``resume=`` restarts the loop from a
+        :class:`~repro.durability.restore.RestoredState` (the output of
+        ``durability.restore()`` after a crash); the workload must be
+        the same materialised request sequence the crashed run was
+        given.
+        """
         requests, horizon = resolve_workload(workload, horizon)
 
         tr = self.trace if self.trace is not None else NO_TRACE
-        metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
-        result = SimulationResult(metrics=metrics)
-        queue = RequestQueue()
         ov = self.overload
-        if ov is not None:
-            ov.begin_run()
-        # A controller may be shared across runs; only this run's
-        # rejections belong in this run's metrics.
-        rejected_before = (
-            len(self.admission.rejected) if self.admission is not None else 0
-        )
-
-        now = 0.0
-        next_arrival = 0
+        dur = self.durability
+        if resume is not None:
+            if dur is None:
+                raise ValueError("resume= requires a durability plane")
+            metrics = resume.metrics
+            metrics.horizon = horizon
+            queue = resume.queue
+            now = resume.now
+            next_arrival = resume.next_arrival
+            rejected_before = resume.rejected_before
+            resume.apply_shared(
+                tracer=tr,
+                overload=ov,
+                admission=self.admission,
+                engines=(self.engine,),
+            )
+        else:
+            metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
+            queue = RequestQueue()
+            if ov is not None:
+                ov.begin_run()
+            # A controller may be shared across runs; only this run's
+            # rejections belong in this run's metrics.
+            rejected_before = (
+                len(self.admission.rejected)
+                if self.admission is not None
+                else 0
+            )
+            now = 0.0
+            next_arrival = 0
+        result = SimulationResult(metrics=metrics)
         n = len(requests)
 
+        if dur is not None:
+
+            def _live() -> LiveState:
+                return LiveState(
+                    queue=queue,
+                    metrics=metrics,
+                    now=now,
+                    next_arrival=next_arrival,
+                    rejected_before=rejected_before,
+                    tracer=tr if tr.enabled else None,
+                    overload=ov,
+                    admission=self.admission,
+                    engines=(self.engine,),
+                )
+
+            dur.begin_run(_live, tr, resume=resume)
+
         while now < horizon:
+            if dur is not None:
+                dur.tick()
             # Admit arrivals up to the current time.
             while next_arrival < n and requests[next_arrival].arrival <= now:
                 r = requests[next_arrival]
@@ -124,12 +177,16 @@ class ServingSimulator:
                         if tr.enabled:
                             tr.arrive(r, r.arrival)
                             tr.rejected(r, r.arrival)
+                        if dur is not None:
+                            dur.terminal("rejected", [r], dequeue=False)
                         next_arrival += 1
                         continue
                     queue.add(r)
                     if tr.enabled:
                         tr.arrive(r, r.arrival)
                         tr.enqueue(r, r.arrival)
+                    if dur is not None:
+                        dur.enqueue(r)
                 elif tr.enabled:
                     tr.arrive(r, r.arrival)
                     tr.rejected(r, r.arrival)
@@ -138,12 +195,16 @@ class ServingSimulator:
             if tr.enabled:
                 tr.expired(dead, now)
             self._release(dead)
+            if dur is not None:
+                dur.terminal("expired", dead)
 
             if ov is not None:
                 ov.observe_outcomes(missed=len(dead))
                 ov.update(now, queue, tr)
                 shed = ov.maybe_shed(queue, metrics, now, tr)
                 self._release(shed)
+                if dur is not None:
+                    dur.shed(shed)
 
             waiting = queue.waiting(now)
             if not waiting:
@@ -186,6 +247,8 @@ class ServingSimulator:
                 if unservable:
                     drop_unservable(queue, unservable, now, tr)
                     self._release(unservable)
+                    if dur is not None:
+                        dur.terminal("expired", unservable)
                     continue
                 if next_arrival >= n:
                     break
@@ -196,6 +259,8 @@ class ServingSimulator:
                 selected = ov.cap_batch(selected)
             if tr.enabled:
                 tr.scheduled(selected, now)
+            if dur is not None:
+                dur.dispatch(selected)
             outcome = serve_slot(self.engine, selected, now)
             metrics.failed_batches += outcome.failures
             metrics.retries += outcome.split_retries
@@ -240,6 +305,8 @@ class ServingSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if dur is not None:
+                    dur.requeued(queue, outcome.failed, retained, lost)
                 if ov is not None:
                     ov.observe_outcomes(missed=len(lost))
                 now = max(now, outcome.down_until)
@@ -259,6 +326,8 @@ class ServingSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if dur is not None:
+                    dur.requeued(queue, outcome.failed, retained, lost)
                 if ov is not None:
                     ov.observe_outcomes(missed=len(lost))
                 continue
@@ -295,6 +364,8 @@ class ServingSimulator:
 
             queue.remove_served(batch_result.served)
             self._release(batch_result.served)
+            if dur is not None:
+                dur.served(batch_result.served, finish)
             if ov is not None:
                 on_time = sum(
                     1 for r in batch_result.served if finish <= r.deadline
@@ -324,6 +395,9 @@ class ServingSimulator:
             for r in requests[next_arrival:]:
                 tr.arrive(r, r.arrival)
             tr.expired(requests[next_arrival:], horizon)
+        if dur is not None:
+            dur.terminal("expired", dead)
+            dur.end_run(requests[next_arrival:])
         metrics.expired.extend(queue.expired)
         metrics.expired.extend(requests[next_arrival:])
         metrics.abandoned.extend(queue.abandoned)

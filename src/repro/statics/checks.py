@@ -3,7 +3,7 @@
 Each rule protects one cross-cutting invariant of the reproduction;
 ``docs/statics.md`` ties every rule to the paper equation or
 reproducibility requirement behind it.  The flow-sensitive rules
-(TCB009–TCB012) live in :mod:`repro.statics.flowchecks` and are merged
+(TCB009–TCB013) live in :mod:`repro.statics.flowchecks` and are merged
 into :data:`ALL_RULES` here.
 """
 
@@ -161,7 +161,13 @@ class SimTimePurity(Rule):
     title = "wall-clock read in simulator code"
     severity = Severity.ERROR
 
-    _SCOPE = ("repro/serving/", "repro/scheduling/", "repro/obs/", "repro/overload/")
+    _SCOPE = (
+        "repro/serving/",
+        "repro/scheduling/",
+        "repro/obs/",
+        "repro/overload/",
+        "repro/durability/",
+    )
     _BANNED = frozenset(
         {
             "time.time",
@@ -399,7 +405,12 @@ class LedgeredDrops(Rule):
     # (policy-exempted); everywhere in these trees, bare ``.drop()`` /
     # ``.take()`` call sites and splices of another object's
     # ``_waiting`` dict are banned.
-    _SCOPE = ("repro/serving/", "repro/scheduling/queue.py", "repro/overload/")
+    _SCOPE = (
+        "repro/serving/",
+        "repro/scheduling/queue.py",
+        "repro/overload/",
+        "repro/durability/",
+    )
     _LEDGER_METHODS = frozenset({"drop", "take"})
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:

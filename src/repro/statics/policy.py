@@ -110,6 +110,10 @@ DEFAULT_POLICY = PathPolicy(
                 "repro/overload/ledger.py",
                 "the conservation-preserving shed/drop helpers themselves",
             ),
+            Exemption(
+                "repro/durability/restore.py",
+                "journal replay re-applies already-ledgered drops verbatim",
+            ),
         ),
         # Attention/mask modules legitimately build (W, W) score-shaped
         # arrays; slotting exists to eliminate them everywhere else.

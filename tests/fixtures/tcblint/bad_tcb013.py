@@ -1,0 +1,45 @@
+"""TCB013 fixture: snapshot/restore field-parity violations.
+
+The ``orphan`` field is captured but never read back (direction A),
+and ``restore`` reads ``snap.missing`` which is not a declared field
+(direction B).  Every other field round-trips cleanly.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass
+class Snapshot:
+    seq: int
+    step: int
+    queue: Any
+    orphan: Optional[dict]  # line 17: captured, never restored
+
+    def describe(self) -> str:
+        return f"snapshot #{self.seq}"
+
+
+class Journal:
+    @property
+    def latest_snapshot(self) -> Optional[Snapshot]:
+        return None
+
+
+def restore(journal: Journal):
+    snap = journal.latest_snapshot
+    if snap is None:
+        raise ValueError("no snapshot")
+    label = snap.describe()  # method access: not a field read
+    return {
+        "seq": snap.seq,
+        "step": snap.step,
+        "queue": snap.queue,
+        "label": label,
+        "extra": snap.missing,  # line 38: undeclared field
+    }
+
+
+def inspect(snap: Snapshot) -> int:
+    # Annotated parameter counts as a snapshot binding too.
+    return snap.step

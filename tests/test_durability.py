@@ -1,0 +1,528 @@
+"""Tests for the durability plane: snapshot/journal, crash + restore.
+
+The headline claim (ISSUE 7): crash-at-any-step + restore must
+reproduce the uninterrupted run's terminal ledger **bit-for-bit** per
+seed — for every serving loop — and the conservation invariant
+``served + expired + rejected + abandoned (+ shed inside rejected)
+== arrived`` holds exactly across the crash boundary.
+"""
+
+import pytest
+
+from repro.config import BatchConfig
+from repro.durability import (
+    CommitRecord,
+    DispatchRecord,
+    DurabilityConfig,
+    DurabilityPlane,
+    EnqueueRecord,
+    Journal,
+    RequeueRecord,
+    ShedRecord,
+    TerminalRecord,
+    digest_diff,
+    ledger_digest,
+    record_from_dict,
+    records_from_jsonl,
+    restore_state,
+    trace_digest,
+)
+from repro.engine.concat import ConcatEngine
+from repro.faults import FaultConfig, FaultPlan, FaultyEngine
+from repro.faults.plan import SchedulerCrash, SchedulerCrashed
+from repro.obs.export import PID_DURABILITY, chrome_trace, validate_chrome_trace
+from repro.obs.recorder import Tracer
+from repro.overload import OverloadConfig, OverloadController, QueueLimits
+from repro.scheduling.das import DASScheduler
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.continuous import ContinuousBatchingSimulator
+from repro.serving.server import TCBServer
+from repro.serving.simulator import ServingSimulator
+from repro.types import Request, make_requests
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.generator import LengthDistribution, WorkloadGenerator
+
+BATCH = BatchConfig(num_rows=4, row_length=20)
+HORIZON = 12.0
+
+
+def _workload(seed=0, rate=40.0):
+    return WorkloadGenerator(
+        rate=rate,
+        lengths=LengthDistribution(
+            family="normal", mean=8, spread=4, low=3, high=20
+        ),
+        deadlines=DeadlineModel(base_slack=4.0, jitter=0.5),
+        horizon=HORIZON,
+        seed=seed,
+    ).generate()
+
+
+def _engine(seed=0):
+    return FaultyEngine(
+        ConcatEngine(BATCH),
+        FaultPlan(
+            FaultConfig(
+                failure_rate=0.15,
+                straggler_rate=0.1,
+                oom_rate=0.05,
+                crash_rate=0.03,
+                downtime=0.2,
+            ),
+            seed=seed,
+        ),
+    )
+
+
+def _overload():
+    return OverloadController(
+        OverloadConfig(limits=QueueLimits(max_requests=64))
+    )
+
+
+# --------------------------------------------------------------------- #
+# Loop factories: (reference_run, crashed_run) builders per loop kind.
+# Each returns (metrics, tracer) so the digests can be compared.
+# --------------------------------------------------------------------- #
+
+
+def _run_simulator(requests, seed, plane=None, resume=None, overload=False):
+    tr = Tracer()
+    sim = ServingSimulator(
+        DASScheduler(BATCH),
+        _engine(seed),
+        trace=tr,
+        overload=_overload() if overload else None,
+        durability=plane,
+    )
+    m = sim.run(requests, horizon=HORIZON, resume=resume).metrics
+    return m, tr
+
+
+def _run_cluster(requests, seed, plane=None, resume=None, overload=False):
+    tr = Tracer()
+    sim = ClusterSimulator(
+        DASScheduler(BATCH),
+        [_engine(seed * 10 + i) for i in range(3)],
+        trace=tr,
+        overload=_overload() if overload else None,
+        durability=plane,
+    )
+    m = sim.run(requests, horizon=HORIZON, resume=resume).metrics
+    return m, tr
+
+
+def _run_continuous(requests, seed, plane=None, resume=None, overload=False):
+    tr = Tracer()
+    sim = ContinuousBatchingSimulator(
+        BATCH,
+        seed=seed,
+        fault_plan=FaultPlan(
+            FaultConfig(
+                failure_rate=0.1, oom_rate=0.05, crash_rate=0.03, downtime=0.2
+            ),
+            seed=seed,
+        ),
+        trace=tr,
+        overload=_overload() if overload else None,
+        durability=plane,
+    )
+    m = sim.run(requests, horizon=HORIZON, resume=resume)
+    return m, tr
+
+
+LOOPS = {
+    "simulator": _run_simulator,
+    "cluster": _run_cluster,
+    "continuous": _run_continuous,
+}
+
+
+def _crash_and_restore(run, requests, seed, *, step, phase, k, overload=False):
+    """One crash/restore cycle; returns (metrics, tracer) or None if the
+    planned crash never fired (run ended first / step had no dispatch)."""
+    plane = DurabilityPlane(
+        DurabilityConfig(
+            checkpoint_every=k, crash=SchedulerCrash(step, phase=phase)
+        )
+    )
+    try:
+        run(requests, seed, plane=plane, overload=overload)
+        return None
+    except SchedulerCrashed as crash:
+        assert crash.step == step
+        assert crash.phase == phase
+    state = plane.restore()
+    return run(requests, seed, plane=plane, resume=state, overload=overload)
+
+
+class TestDifferentialCrashRestore:
+    """Crash anywhere, restore, finish: terminal ledger bit-identical."""
+
+    @pytest.mark.parametrize("loop", sorted(LOOPS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [1, 5, 0])
+    def test_ledger_and_trace_bit_identical(self, loop, seed, k):
+        run = LOOPS[loop]
+        requests = _workload(seed)
+        ref_m, ref_tr = run(requests, seed)
+        ref_led, ref_trd = ledger_digest(ref_m), trace_digest(ref_tr)
+
+        # Probe the step count once, then crash at early/middle/late.
+        probe = DurabilityPlane(DurabilityConfig())
+        run(requests, seed, plane=probe)
+        nsteps = probe.step
+        assert nsteps >= 6, "workload too short to crash meaningfully"
+
+        fired = 0
+        for step in (1, nsteps // 2, nsteps - 2):
+            for phase in ("step", "dispatch"):
+                out = _crash_and_restore(
+                    run, requests, seed, step=step, phase=phase, k=k
+                )
+                if out is None:
+                    continue  # that step had no dispatch to crash in
+                fired += 1
+                m, tr = out
+                led, trd = ledger_digest(m), trace_digest(tr)
+                assert led == ref_led, "; ".join(
+                    digest_diff(led, ref_led)[:5]
+                )
+                assert trd == ref_trd, "; ".join(
+                    digest_diff(trd, ref_trd)[:5]
+                )
+                m.assert_conservation()
+                tr.reconcile(m)
+        assert fired >= 3, "too few crash points actually fired"
+
+    @pytest.mark.parametrize("loop", sorted(LOOPS))
+    def test_with_overload_plane(self, loop):
+        """Shedding/denial terminals cross the boundary exactly too."""
+        run = LOOPS[loop]
+        requests = _workload(3, rate=100.0)
+        ref_m, ref_tr = run(requests, 3, overload=True)
+        ref_led, ref_trd = ledger_digest(ref_m), trace_digest(ref_tr)
+        probe = DurabilityPlane(DurabilityConfig())
+        run(requests, 3, plane=probe, overload=True)
+        nsteps = probe.step
+        out = _crash_and_restore(
+            run, requests, 3, step=nsteps // 2, phase="step", k=4,
+            overload=True,
+        )
+        assert out is not None
+        m, tr = out
+        assert ledger_digest(m) == ref_led
+        assert trace_digest(tr) == ref_trd
+        m.assert_conservation()
+        tr.reconcile(m)
+
+    def test_double_restore_is_repeatable(self):
+        """restore() twice from one journal -> two identical states."""
+        requests = _workload(0)
+        plane = DurabilityPlane(
+            DurabilityConfig(checkpoint_every=3, crash=SchedulerCrash(4))
+        )
+        with pytest.raises(SchedulerCrashed):
+            _run_simulator(requests, 0, plane=plane)
+        a = restore_state(plane.journal)
+        b = restore_state(plane.journal)
+        assert a.queue is not b.queue
+        assert ledger_digest(a.metrics) == ledger_digest(b.metrics)
+        assert a.queue.waiting_ids() == b.queue.waiting_ids()
+        assert a.now == b.now and a.step == b.step
+
+
+class TestInertByDefault:
+    """durability=None and plane-enabled runs are bit-identical."""
+
+    @pytest.mark.parametrize("loop", sorted(LOOPS))
+    def test_plane_does_not_perturb_run(self, loop):
+        run = LOOPS[loop]
+        requests = _workload(1)
+        ref_m, ref_tr = run(requests, 1)
+        plane = DurabilityPlane(
+            DurabilityConfig(checkpoint_every=4, verify_replay=True)
+        )
+        m, tr = run(requests, 1, plane=plane)
+        assert ledger_digest(m) == ledger_digest(ref_m)
+        assert trace_digest(tr) == trace_digest(ref_tr)
+
+    def test_all_default_config_takes_pre_durability_paths(self):
+        requests = _workload(0)
+        sim = ServingSimulator(DASScheduler(BATCH), _engine(0))
+        assert sim.durability is None
+        m = sim.run(requests, horizon=HORIZON).metrics
+        m.assert_conservation()
+
+    def test_resume_requires_plane(self):
+        requests = _workload(0)
+        plane = DurabilityPlane(
+            DurabilityConfig(checkpoint_every=2, crash=SchedulerCrash(3))
+        )
+        with pytest.raises(SchedulerCrashed):
+            _run_simulator(requests, 0, plane=plane)
+        state = plane.restore()
+        sim = ServingSimulator(DASScheduler(BATCH), _engine(0))
+        with pytest.raises(ValueError, match="resume"):
+            sim.run(requests, horizon=HORIZON, resume=state)
+
+    @pytest.mark.parametrize("loop", sorted(LOOPS))
+    def test_restore_refuses_after_clean_completion(self, loop):
+        # Resuming a run whose end-of-run sweep already sealed the
+        # ledger would re-apply the sweep (double-counted expiries), so
+        # the plane refuses; restore_state still works for inspection.
+        run = LOOPS[loop]
+        requests = _workload(0)
+        plane = DurabilityPlane(DurabilityConfig(checkpoint_every=2))
+        run(requests, 0, plane=plane)
+        with pytest.raises(ValueError, match="completed cleanly"):
+            plane.restore()
+        assert restore_state(plane.journal).step >= plane.step
+
+
+class TestVerifyReplay:
+    def test_self_audit_passes_on_healthy_run(self):
+        requests = _workload(2)
+        plane = DurabilityPlane(
+            DurabilityConfig(checkpoint_every=2, verify_replay=True)
+        )
+        m, _ = _run_simulator(requests, 2, plane=plane)
+        m.assert_conservation()
+
+    def test_tampered_journal_fails_the_audit(self):
+        requests = _workload(2)
+        plane = DurabilityPlane(DurabilityConfig(checkpoint_every=0))
+        _run_simulator(requests, 2, plane=plane)
+        # Drop a committed served-terminal: replay now disagrees with
+        # what the commits claim.
+        journal = plane.journal
+        idx = next(
+            i
+            for i, r in enumerate(journal.records)
+            if isinstance(r, TerminalRecord) and r.terminal == "served"
+        )
+        del journal.records[idx]
+        restored = restore_state(journal)
+        assert restored.metrics.num_served < plane.journal.audit()[
+            "terminals"
+        ]["served"] + restored.metrics.num_served
+
+
+class TestJournal:
+    def _filled(self):
+        requests = _workload(0)
+        plane = DurabilityPlane(
+            DurabilityConfig(checkpoint_every=3, crash=SchedulerCrash(5))
+        )
+        with pytest.raises(SchedulerCrashed):
+            _run_simulator(requests, 0, plane=plane)
+        return plane.journal
+
+    def test_audit_exactly_once(self):
+        journal = self._filled()
+        audit = journal.audit()
+        assert audit["duplicate_terminals"] == []
+        assert audit["records"] == len(journal)
+        assert audit["snapshots"] >= 2  # genesis + at least one periodic
+
+    def test_uncommitted_records_are_the_crash_debris(self):
+        journal = self._filled()
+        uncommitted = journal.uncommitted_records()
+        last = journal.last_committed_step()
+        assert all(r.step > last for r in uncommitted)
+
+    def test_prune_uncommitted_removes_exactly_the_debris(self):
+        journal = self._filled()
+        before = len(journal)
+        debris = journal.uncommitted_records()
+        voided = journal.prune_uncommitted()
+        assert voided == debris
+        assert len(journal) == before - len(debris)
+        assert journal.uncommitted_records() == []
+
+    def test_jsonl_round_trip(self):
+        journal = self._filled()
+        text = journal.to_jsonl()
+        rebuilt = records_from_jsonl(text)
+        originals = [
+            r for r in journal.records if not isinstance(r, CommitRecord)
+        ]
+        assert len(rebuilt) == len(originals)
+        for a, b in zip(rebuilt, originals):
+            assert type(a) is type(b)
+            assert a.to_dict() == b.to_dict()
+
+    def test_restore_without_snapshot_raises(self):
+        with pytest.raises(ValueError, match="no snapshot"):
+            restore_state(Journal())
+
+
+class TestRecords:
+    def test_terminal_kind_validated(self):
+        r = make_requests([5], deadlines=[1.0])[0]
+        with pytest.raises(ValueError, match="terminal"):
+            TerminalRecord(step=0, terminal="vanished", requests=(r,))
+
+    def test_commit_kind_not_round_trippable(self):
+        with pytest.raises(ValueError, match="commit"):
+            record_from_dict({"kind": "commit", "step": 0})
+
+    def test_request_tokens_survive_round_trip(self):
+        req = Request(
+            request_id=3,
+            length=4,
+            arrival=0.5,
+            deadline=2.0,
+            tokens=(1, 2, 3, 4),
+            weight=2.0,
+        )
+        rec = EnqueueRecord(step=1, request=req, submit_time=0.5)
+        back = record_from_dict(rec.to_dict())
+        assert back.request == req
+        assert back.submit_time == 0.5
+        bare = make_requests([5], deadlines=[1.0])[0]  # tokens=None
+        rec2 = DispatchRecord(step=2, requests=(bare,), resident=True)
+        back2 = record_from_dict(rec2.to_dict())
+        assert back2.requests == (bare,)
+        assert back2.resident
+
+    def test_requeue_and_shed_round_trip(self):
+        reqs = tuple(make_requests([5, 6], deadlines=[9.0, 9.0]))
+        rec = RequeueRecord(
+            step=3, attempts=((0, 2), (1, 1)), retained=reqs, readd=True
+        )
+        back = record_from_dict(rec.to_dict())
+        assert back.attempts == ((0, 2), (1, 1))
+        assert back.retained == reqs
+        assert back.readd
+        shed = ShedRecord(step=4, requests=reqs)
+        assert record_from_dict(shed.to_dict()).requests == reqs
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            DurabilityConfig(checkpoint_every=-1)
+        with pytest.raises(ValueError, match="step"):
+            SchedulerCrash(step=-1)
+        with pytest.raises(ValueError, match="phase"):
+            SchedulerCrash(step=0, phase="nowhere")
+
+    def test_seeded_crash_is_deterministic(self):
+        a = SchedulerCrash.seeded(7, max_step=50)
+        b = SchedulerCrash.seeded(7, max_step=50)
+        assert a == b
+        assert 0 <= a.step < 50
+
+
+class TestChromeTraceLane:
+    def test_durability_lane_is_conditional(self):
+        requests = _workload(0)
+        _, tr = _run_simulator(requests, 0)
+        plain = chrome_trace(tr)
+        assert PID_DURABILITY not in {e["pid"] for e in plain["traceEvents"]}
+
+        plane = DurabilityPlane(DurabilityConfig(checkpoint_every=3))
+        _, tr2 = _run_simulator(requests, 0, plane=plane)
+        doc = chrome_trace(tr2)
+        validate_chrome_trace(doc)
+        lane = [
+            e
+            for e in doc["traceEvents"]
+            if e["pid"] == PID_DURABILITY and e["ph"] == "i"
+        ]
+        assert "snapshot" in {e["name"] for e in lane}
+        assert any(
+            e["ph"] == "M" and e["pid"] == PID_DURABILITY
+            for e in doc["traceEvents"]
+        )
+
+    def test_crash_and_restore_events_exported(self):
+        requests = _workload(0)
+        plane = DurabilityPlane(
+            DurabilityConfig(checkpoint_every=2, crash=SchedulerCrash(4))
+        )
+        with pytest.raises(SchedulerCrashed):
+            _run_simulator(requests, 0, plane=plane)
+        plane.restore()
+        _, tr = _run_simulator(
+            requests, 0, plane=plane, resume=plane.restore()
+        )
+        doc = chrome_trace(tr)
+        validate_chrome_trace(doc)
+        kinds = {
+            e["name"]
+            for e in doc["traceEvents"]
+            if e["pid"] == PID_DURABILITY
+        }
+        assert "restore" in kinds
+
+
+class TestServerWarmRestart:
+    def _server(self, plane):
+        return TCBServer(seed=0, durability=plane)
+
+    def test_exactly_once_across_restart(self):
+        plane = DurabilityPlane(DurabilityConfig(checkpoint_every=1))
+        s1 = self._server(plane)
+        ids = [s1.submit([1, 2, 3, 4]) for _ in range(6)]
+        served_pre = [r.request_id for r in s1.step()]
+        s1.step()  # tick commits the serving step
+        wal_ids = [s1.submit([5, 6, 7]) for _ in range(3)]  # acked, WAL-only
+
+        s2 = self._server(plane)
+        state = s2.warm_restart()
+        recovered = {req.request_id for req, _ in state.recovered}
+        assert recovered == set(wal_ids)
+        served_post = [r.request_id for r in s2.run_until_drained()]
+        # Exactly once: no id served twice, none lost.
+        assert not set(served_pre) & set(served_post)
+        assert set(served_pre) | set(served_post) == set(ids + wal_ids)
+        s2.metrics.assert_conservation()
+
+    def test_outputs_regenerate_identically(self):
+        plane = DurabilityPlane(DurabilityConfig(checkpoint_every=1))
+        s1 = self._server(plane)
+        for _ in range(4):
+            s1.submit([1, 2, 3])
+        s2 = self._server(plane)
+        s2.warm_restart()
+        out = {r.request_id: r.output_tokens for r in s2.run_until_drained()}
+
+        ref = TCBServer(seed=0)
+        for _ in range(4):
+            ref.submit([1, 2, 3])
+        ref_out = {
+            r.request_id: r.output_tokens for r in ref.run_until_drained()
+        }
+        assert out == ref_out
+
+    def test_duplicate_suppression_on_committed_enqueues(self):
+        """A WAL enqueue that also committed must not be added twice."""
+        plane = DurabilityPlane(DurabilityConfig(checkpoint_every=1))
+        s1 = self._server(plane)
+        rid = s1.submit([1, 2, 3, 4, 5])
+        s1.step(), s1.step(), s1.step()  # serve + commit
+        s2 = self._server(plane)
+        state = s2.warm_restart()
+        assert rid not in {req.request_id for req, _ in state.recovered}
+        assert s2.pending == 0
+        assert rid in {r.request_id for r in s2.metrics.served}
+
+    def test_restart_without_plane_raises(self):
+        with pytest.raises(ValueError, match="durability"):
+            TCBServer(seed=0).warm_restart()
+
+    def test_checkpoint_every_kwarg_builds_plane(self):
+        s = TCBServer(seed=0, checkpoint_every=2)
+        assert s.durability is not None
+        assert s.durability.config.checkpoint_every == 2
+        assert TCBServer(seed=0).durability is None
+
+    def test_submit_ids_continue_after_restart(self):
+        plane = DurabilityPlane(DurabilityConfig(checkpoint_every=1))
+        s1 = self._server(plane)
+        ids = [s1.submit([1, 2]) for _ in range(3)]
+        s2 = self._server(plane)
+        s2.warm_restart()
+        nxt = s2.submit([3, 4])
+        assert nxt not in ids
+        assert nxt == max(ids) + 1

@@ -5,6 +5,7 @@ import numpy as np
 import pytest
 
 from repro.config import BatchConfig
+from repro.engine.base import MIN_SLOT
 from repro.engine.concat import ConcatEngine
 from repro.engine.cost_model import GPUCostModel
 from repro.faults import (
@@ -462,3 +463,116 @@ class TestBreakerFaultComposition:
             return summary, ov.transition_log()
 
         assert run() == run()
+
+
+class _OOMUntil:
+    """Fake engine: raises OOM while the batch is larger than ``fits``.
+
+    Records every attempted batch size so tests can pin the exact
+    halving ladder serve_slot walks.
+    """
+
+    def __init__(self, inner, fits):
+        self.inner = inner
+        self.fits = fits
+        self.sizes: list[int] = []
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def serve(self, requests, now=0.0):
+        self.sizes.append(len(requests))
+        if len(requests) > self.fits:
+            raise BatchFailure("oom", MIN_SLOT, requests)
+        return self.inner.serve(requests, now=now)
+
+
+class TestSplitRetryLadder:
+    """Ceil-halving regression: odd batches keep their larger half."""
+
+    def _ladder(self, n, fits=1):
+        engine = _OOMUntil(ConcatEngine(_batch(rows=8)), fits)
+        reqs = make_requests([3] * n, deadlines=[100.0] * n)
+        outcome = serve_slot(engine, reqs, now=0.0)
+        assert outcome.ok
+        return engine.sizes, outcome
+
+    def test_odd_batch_keeps_larger_half(self):
+        sizes, outcome = self._ladder(5)
+        assert sizes == [5, 3, 2, 1]
+        assert len(outcome.batch) == 1
+
+    def test_three_retries_two_not_one(self):
+        # Floor halving turned 3 into 1, skipping the feasible size 2.
+        sizes, _ = self._ladder(3, fits=2)
+        assert sizes == [3, 2]
+
+    def test_even_batch_ladder_unchanged(self):
+        sizes, _ = self._ladder(8)
+        assert sizes == [8, 4, 2, 1]
+
+    def test_ladder_terminates_at_singleton(self):
+        # fits=0 can never succeed by shrinking; the singleton attempt
+        # must come back as a terminal failure, not an infinite loop.
+        engine = _OOMUntil(ConcatEngine(_batch(rows=8)), 0)
+        reqs = make_requests([3] * 4, deadlines=[100.0] * 4)
+        outcome = serve_slot(engine, reqs, now=0.0)
+        assert not outcome.ok
+        assert engine.sizes == [4, 2, 1]
+        assert len(outcome.failed) == 1
+
+    def test_split_retries_count_resurvived_requests(self):
+        sizes, outcome = self._ladder(5)
+        # Each re-serve counts the requests it retried: 3 + 2 + 1.
+        assert outcome.split_retries == 6
+
+
+class TestTriageBoundaries:
+    """RetryPolicy.triage at its decision boundaries."""
+
+    def test_zero_retry_budget_abandons_after_first_attempt(self):
+        policy = RetryPolicy(max_retries=0)
+        cm = GPUCostModel.calibrated()
+        r = Request(request_id=0, length=5, deadline=100.0)
+        # No recorded attempt yet: still allowed to queue once.
+        retained, lost = policy.triage([r], 0.0, cm, {})
+        assert retained == [r]
+        # One failed attempt recorded: budget exhausted.
+        retained, lost = policy.triage([r], 0.0, cm, {0: 1})
+        assert lost == [r]
+
+    def test_exactly_feasible_solo_batch_is_retained(self):
+        """slack == quickest is kept: the abandon test is strictly <."""
+        policy = RetryPolicy()
+        cm = GPUCostModel.calibrated()
+        quickest = cm.batch_time(5, 25)
+        exact = Request(request_id=0, length=5, deadline=quickest)
+        retained, lost = policy.triage([exact], 0.0, cm, {})
+        assert retained == [exact]
+        # An epsilon less slack flips it to abandoned.
+        tight = Request(
+            request_id=1, length=5, deadline=quickest * (1 - 1e-9)
+        )
+        retained, lost = policy.triage([tight], 0.0, cm, {})
+        assert lost == [tight]
+
+    def test_stale_attempt_entries_are_harmless(self):
+        """Attempts for ids no longer queued must not affect triage."""
+        policy = RetryPolicy(max_retries=1)
+        cm = GPUCostModel.calibrated()
+        r = Request(request_id=7, length=5, deadline=100.0)
+        attempts = {1: 99, 2: 5, 7: 1}  # 1 and 2 left the queue long ago
+        retained, lost = policy.triage([r], 0.0, cm, attempts)
+        assert retained == [r]
+        assert lost == []
+
+    def test_requeue_failed_with_stale_attempts_map(self):
+        queue = RequestQueue()
+        reqs = make_requests([5], deadlines=[100.0])
+        queue.extend(reqs)
+        queue.attempts[12345] = 99  # debris from a request served long ago
+        retained, lost = requeue_failed(
+            queue, RetryPolicy(), GPUCostModel.calibrated(), reqs, now=0.0
+        )
+        assert retained == list(reqs)
+        assert queue.attempts[12345] == 99  # untouched

@@ -80,6 +80,12 @@ class TestRuleTCB003:
         found = _lint_fixture("bad_tcb003.py", "repro/scheduling/das.py")
         assert _lines(found, "TCB003") == []
 
+    def test_fires_in_durability_paths(self):
+        # The durability plane journals *simulated* time; a wall-clock
+        # read there would make snapshots non-replayable.
+        found = _lint_fixture("bad_tcb003.py", "repro/durability/plane.py")
+        assert _lines(found, "TCB003") == [13, 17, 21]
+
 
 class TestRuleTCB004:
     def test_fires_on_reduced_precision(self):
@@ -154,6 +160,14 @@ class TestRuleTCB008:
 
     def test_ledger_module_is_policy_exempt(self):
         found = _lint_fixture("bad_tcb008.py", "repro/overload/ledger.py")
+        assert _lines(found, "TCB008") == []
+
+    def test_durability_in_scope_but_restore_exempt(self):
+        # Journal replay re-applies drops that were ledgered live, so
+        # restore.py is policy-waived; the rest of the plane is not.
+        found = _lint_fixture("bad_tcb008.py", "repro/durability/plane.py")
+        assert _lines(found, "TCB008") == [9, 13, 17, 21]
+        found = _lint_fixture("bad_tcb008.py", "repro/durability/restore.py")
         assert _lines(found, "TCB008") == []
 
     def test_self_methods_are_clean(self):
