@@ -1,6 +1,6 @@
 # Convenience targets for the TCB reproduction.
 
-.PHONY: install test bench examples figures lint report trace-smoke overload-smoke recovery-smoke clean
+.PHONY: install test bench bench-micro examples figures lint report trace-smoke overload-smoke recovery-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast-path microbenchmarks (docs/performance.md): emits BENCH_8.json
+# and gates machine-normalized steps/sec against the committed
+# baseline (>10% regression fails).
+bench-micro:
+	PYTHONPATH=src python -m repro bench --quick --out BENCH_8.json --check benchmarks/results/BENCH_baseline.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
@@ -52,7 +58,7 @@ recovery-smoke:
 	PYTHONPATH=src pytest tests/test_durability.py -q
 	PYTHONPATH=src python -c "from repro.experiments.recovery import recovery_smoke; recovery_smoke()"
 
-report: lint test bench overload-smoke recovery-smoke
+report: lint test bench bench-micro overload-smoke recovery-smoke
 	python -m repro lint --format json --out lint_report.json
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -303,12 +303,31 @@ class BatchLayout:
     def slot_boundaries(self) -> list[list[tuple[int, int]]]:
         """Per-row ``(start, end)`` slot spans; one whole-row slot if unslotted."""
         out: list[list[tuple[int, int]]] = []
+        w = self.effective_width
         for row in self.rows:
             if row.slots:
                 out.append([(s.start, s.end) for s in row.slots])
             else:
-                out.append([(0, self.effective_width)])
+                out.append([(0, w)])
         return out
+
+    def shape_fingerprint(self) -> tuple:
+        """Hashable shape identity: ``(B, W, slot spans)``.
+
+        Two layouts with equal fingerprints cost exactly the same under
+        any :class:`~repro.engine.cost_model.GPUCostModel` — the model
+        reads nothing else — which is what makes its memoization sound.
+        Batch sweeps re-pack the same shapes thousands of times, so the
+        fingerprint is the cache key that collapses them.
+        """
+        w = self.effective_width
+        spans = tuple(
+            tuple((s.start, s.end) for s in row.slots)
+            if row.slots
+            else ((0, w),)
+            for row in self.rows
+        )
+        return (self.num_rows, w, spans)
 
     # ------------------------------------------------------------------ #
     # Constructors for the baseline schemes

@@ -69,6 +69,28 @@ class GPUCostModel:
     per_slot: float = 0.01
     decode_factor: float = 0.25
 
+    # Memoization (ISSUE 8): every public cost is a pure function of its
+    # arguments and the six constants, so re-evaluating the same shape
+    # returns the same IEEE bits — caching is exact, not approximate.
+    # Batch sweeps hit identical (tokens, entries, slots) tuples
+    # thousands of times.  The cache lives outside the dataclass fields
+    # (set via object.__setattr__ to dodge frozen=True) so eq/repr/hash
+    # and dataclasses.replace are unaffected; each instance gets its own
+    # cache, keyed by constants implicitly.
+    _MEMO_LIMIT = 65536
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_memo", {})
+
+    def _memoized(self, key: tuple, compute) -> float:
+        memo = self._memo
+        hit = memo.get(key)
+        if hit is None:
+            if len(memo) >= self._MEMO_LIMIT:
+                memo.clear()
+            hit = memo[key] = compute()
+        return hit
+
     # ------------------------------------------------------------------ #
     # Component costs
     # ------------------------------------------------------------------ #
@@ -117,6 +139,20 @@ class GPUCostModel:
         *,
         include_decode: bool = True,
     ) -> float:
+        return self._memoized(
+            ("batch", computed_tokens, score_entries, num_slots, include_decode),
+            lambda: self._batch_time(
+                computed_tokens, score_entries, num_slots, include_decode
+            ),
+        )
+
+    def _batch_time(
+        self,
+        computed_tokens: int,
+        score_entries: int,
+        num_slots: int,
+        include_decode: bool,
+    ) -> float:
         enc = self.encode_time(computed_tokens, score_entries, num_slots)
         return enc * (1.0 + self.decode_factor) if include_decode else enc
 
@@ -134,10 +170,14 @@ class GPUCostModel:
             raise ValueError("active_requests and context_tokens must be >= 0")
         if active_requests == 0:
             return 0.0
-        launch = self.fixed_per_batch * 0.2
-        linear = self.per_token * active_requests
-        attn_reads = context_tokens / self.attn_rate
-        return launch + linear + max(self.attn_floor * 0.2, attn_reads)
+
+        def compute() -> float:
+            launch = self.fixed_per_batch * 0.2
+            linear = self.per_token * active_requests
+            attn_reads = context_tokens / self.attn_rate
+            return launch + linear + max(self.attn_floor * 0.2, attn_reads)
+
+        return self._memoized(("decode", active_requests, context_tokens), compute)
 
     def prefill_time(self, computed_tokens: int, score_entries: int) -> float:
         """Prompt-processing (encode) time for newly admitted requests."""
@@ -164,11 +204,27 @@ class GPUCostModel:
         num_slots = max(1, num_slots // max(1, layout.num_rows))
         return tokens, entries, num_slots
 
+    def _layout_work_cached(self, layout: BatchLayout) -> tuple[int, int, int]:
+        """:meth:`layout_work`, memoized on the layout's shape fingerprint.
+
+        The work triple is a pure function of the fingerprint (row
+        count, effective width, slot spans — exactly what
+        :meth:`layout_work` reads), so the cache is exact.
+        """
+        fp = layout.shape_fingerprint()
+        memo = self._memo
+        hit = memo.get(fp)
+        if hit is None:
+            if len(memo) >= self._MEMO_LIMIT:
+                memo.clear()
+            hit = memo[fp] = self.layout_work(layout)
+        return hit
+
     def layout_time(
         self, layout: BatchLayout, *, include_decode: bool = True
     ) -> float:
         """Latency of executing one :class:`BatchLayout`."""
-        tokens, entries, num_slots = self.layout_work(layout)
+        tokens, entries, num_slots = self._layout_work_cached(layout)
         return self.batch_time(
             tokens, entries, num_slots, include_decode=include_decode
         )
@@ -182,7 +238,7 @@ class GPUCostModel:
         launch, token-linear, attention, decode — so a trace can show
         *where* a batch's time went, not just how long it took.
         """
-        tokens, entries, num_slots = self.layout_work(layout)
+        tokens, entries, num_slots = self._layout_work_cached(layout)
         fixed = self.fixed_per_batch
         lin = self.linear_time(tokens)
         attn = self.attention_time(entries, num_slots)

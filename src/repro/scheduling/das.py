@@ -16,12 +16,29 @@ For each batch row the algorithm:
 Theorem 5.1: the algorithm is ``ηq/(ηq+1)``-competitive; with the paper's
 ``η = q = ½`` that is ⅕.  ``tests/test_theory.py`` checks the bound
 against exact offline optima on random instances.
+
+Fast path (ISSUE 8, ``docs/performance.md``): the line-7 sort is a
+*total* order (utility with a request-id tie-break), and removing a
+row's chosen requests preserves that order — so re-sorting ``remaining``
+on every row, as the original implementation did, is provably the
+identity after the first row.  :meth:`DASScheduler.select` therefore
+sorts **once** per decision (or reuses the queue's maintained
+``by_utility`` view, skipping even that), keeps a running token total
+instead of re-summing the queue per row, and finds ``N^D_t`` by binary
+search (the candidates are utility-sorted, so the threshold cut is a
+prefix).  The original implementations are kept verbatim as
+``_reference_das_row_parts`` / ``DASScheduler._reference_select`` — the
+oracles that ``tests/test_das_fastpath.py`` and the differential
+equivalence harness compare against, bit for bit.
 """
 
 from __future__ import annotations
 
 import math
 import time
+from bisect import bisect_right
+from itertools import accumulate
+from operator import itemgetter
 from typing import Optional, Sequence
 
 from repro.config import BatchConfig, SchedulerConfig
@@ -31,18 +48,18 @@ from repro.types import Request
 __all__ = ["DASScheduler", "das_row_parts"]
 
 
-def das_row_parts(
+def _reference_das_row_parts(
     candidates: Sequence[Request],
     row_length: int,
     eta: float,
     q: float,
 ) -> tuple[list[Request], list[Request], list[Request]]:
-    """Split sorted-by-utility candidates into (N^U, N^D, rest) for one row.
+    """The original O(n)-loop row split, kept as a differential oracle.
 
-    ``candidates`` must already be sorted by utility non-increasingly.
-    Exposed separately because Algorithm 2 needs the utility-dominant set
-    to derive its slot size, and because the theory tests exercise it
-    directly.
+    :func:`das_row_parts` must return bit-identical output on every
+    contract-satisfying input (candidates sorted by utility
+    non-increasingly); ``tests/test_das_fastpath.py`` enforces it on
+    adversarial and randomized inputs.
     """
     # Line 8: s_tk = saturating prefix size.
     s = 0
@@ -73,9 +90,69 @@ def das_row_parts(
     return utility_dominant, deadline_aware, rest
 
 
+def das_row_parts(
+    candidates: Sequence[Request],
+    row_length: int,
+    eta: float,
+    q: float,
+) -> tuple[list[Request], list[Request], list[Request]]:
+    """Split sorted-by-utility candidates into (N^U, N^D, rest) for one row.
+
+    ``candidates`` must already be sorted by utility non-increasingly.
+    Exposed separately because Algorithm 2 needs the utility-dominant set
+    to derive its slot size, and because the theory tests exercise it
+    directly.
+
+    Fast path: the saturating prefix ``s_tk`` (line 8) comes from a
+    binary search over the length prefix sums (they are strictly
+    increasing, lengths being ≥ 1), and the ``N^D`` threshold split is
+    a second binary search — the candidates are utility-sorted, so
+    ``utility ≥ q·v̄`` holds for exactly a prefix of ``candidates[p:]``.
+    Bit-identical to :func:`_reference_das_row_parts` (tested).
+    """
+    # Line 8: s_tk = saturating prefix size, by binary search on the
+    # strictly-increasing prefix sums.
+    prefix = list(accumulate(r.length for r in candidates))
+    s = bisect_right(prefix, row_length)
+    if s == 0:
+        # Even the highest-utility request alone does not fit (it is
+        # longer than L) — skip utility-dominant selection entirely.
+        return [], [], list(candidates)
+
+    # Line 9: p_tk = η · s_tk (at least one task so v̄ is defined).
+    p = max(1, math.floor(eta * s))
+    utility_dominant = list(candidates[:p])
+
+    v_bar = sum(r.utility for r in utility_dominant) / len(utility_dominant)
+    threshold = q * v_bar
+
+    # u ≥ threshold  ⇔  -u ≤ -threshold, and the negated utilities are
+    # non-decreasing under the sort contract — so N^D is the slice up
+    # to the bisect cut (ties included, exactly like the >= loop).
+    neg_utilities = [-r.utility for r in candidates]
+    cut = bisect_right(neg_utilities, -threshold, p)
+    # Line 12: deadline-aware set is consumed earliest-deadline-first.
+    deadline_aware = sorted(
+        candidates[p:cut], key=lambda r: (r.deadline, r.request_id)
+    )
+    rest = list(candidates[cut:])
+    return utility_dominant, deadline_aware, rest
+
+
+# Tuple layout of the fast path's candidate entries: sorting compares
+# (-utility, request_id) — a total order, the id tie-break means later
+# elements are never reached — while the row loops index lengths,
+# deadlines and the request itself without attribute lookups.
+_NEG_UTILITY, _RID, _LENGTH, _DEADLINE, _REQ = range(5)
+_key_neg_utility = itemgetter(_NEG_UTILITY)
+_key_edf = itemgetter(_DEADLINE, _RID)
+
+
 class DASScheduler(Scheduler):
     """Algorithm 1.  ``record_parts=True`` keeps per-row (N^U, N^D) for
-    Algorithm 2 and for the theory tests."""
+    Algorithm 2 and for the theory tests.  ``reference=True`` runs the
+    original per-row-re-sort implementation (the equivalence oracle —
+    slower, bit-identical output)."""
 
     name = "das"
 
@@ -85,15 +162,204 @@ class DASScheduler(Scheduler):
         config: Optional[SchedulerConfig] = None,
         *,
         record_parts: bool = False,
+        reference: bool = False,
     ):
         super().__init__(batch)
         self.config = config or SchedulerConfig()
         self.record_parts = record_parts
+        self.reference = reference
         self.last_parts: list[tuple[list[Request], list[Request]]] = []
 
     def select(
         self, waiting: Sequence[Request], now: float = 0.0
     ) -> SchedulingDecision:
+        if self.reference:
+            return self._reference_select(waiting, now)
+        start = time.perf_counter()
+        eta, q = self.config.eta, self.config.q
+        L = self.batch.row_length
+        rows: list[list[Request]] = []
+        parts: list[tuple[list[Request], list[Request]]] = []
+
+        # Row 0 sees the waiting set in arrival order (like the
+        # reference, which only sorts on the first oversubscribed row).
+        arrival_order = [r for r in waiting if r.length <= L]
+        total = sum(r.length for r in arrival_order)
+        # Utility-sorted candidates as packed tuples; built lazily at
+        # the first oversubscribed row, then *reused* — removal keeps
+        # the order, so the reference's later re-sorts are identities.
+        # Chosen requests become tombstones in a ``dead`` set (rebuilding
+        # the list per row was the dominant cost at 10k+ queued); the
+        # list is compacted once tombstones outnumber the living.
+        cand: Optional[list[tuple]] = None
+        dead: set[int] = set()
+        live = 0
+        min_len = 1
+
+        for _k in range(self.batch.num_rows):
+            if cand is None:
+                if not arrival_order:
+                    break
+                if total <= L:
+                    # Lines 4–5: everything fits in this row.
+                    rows.append(list(arrival_order))
+                    parts.append((list(arrival_order), []))
+                    arrival_order = []
+                    break
+                # Line 7: sort by utility non-increasingly (stable
+                # tie-break on id for determinism) — once per decision.
+                # A WaitingView's maintained index skips even that.
+                by_util = getattr(waiting, "by_utility", None)
+                if by_util is not None:
+                    cand = [
+                        (-r.utility, r.request_id, r.length, r.deadline, r)
+                        for r in by_util
+                        if r.length <= L
+                    ]
+                else:
+                    cand = sorted(
+                        (-r.utility, r.request_id, r.length, r.deadline, r)
+                        for r in arrival_order
+                    )
+                arrival_order = []
+                live = len(cand)
+                min_len = min(t[_LENGTH] for t in cand)
+            else:
+                if live == 0:
+                    break
+                if total <= L:
+                    # Lines 4–5 on a later row: the survivors are in
+                    # utility order, exactly as the reference leaves
+                    # them after its row-(k-1) sort.
+                    survivors = [
+                        t[_REQ] for t in cand if t[_RID] not in dead
+                    ]
+                    rows.append(survivors)
+                    parts.append((list(survivors), []))
+                    live = 0
+                    break
+
+            # Line 8: saturating prefix s_tk (early-exit scan over the
+            # live entries; the prefix is at most one row's worth).
+            s = 0
+            acc = 0
+            for t in cand:
+                if t[_RID] in dead:
+                    continue
+                if acc + t[_LENGTH] > L:
+                    break
+                acc += t[_LENGTH]
+                s += 1
+
+            row: list[Request] = []
+            used = 0
+            chosen: set[int] = set()
+            n_d: list[tuple] = []
+            if s == 0:
+                # Unreachable after the length<=L filter (kept for
+                # parity with das_row_parts' degenerate contract): no
+                # utility-dominant set, back-fill from everything.
+                n_u: list[tuple] = []
+                rest_start = 0
+            else:
+                # Line 9: p_tk = η·s_tk, at least one so v̄ is defined.
+                p = max(1, math.floor(eta * s))
+                n_u = []
+                i_p = 0
+                for i_p, t in enumerate(cand):
+                    if t[_RID] in dead:
+                        continue
+                    n_u.append(t)
+                    if len(n_u) == p:
+                        break
+                i_p += 1
+                # Negation commutes with IEEE rounding, so summing the
+                # stored -u values and negating is bit-identical to the
+                # reference's sum of utilities.
+                v_bar = sum(-t[_NEG_UTILITY] for t in n_u) / p
+                threshold = q * v_bar
+                # N^D (line 11) is a prefix of the utility-sorted tail:
+                # u ≥ q·v̄ ⇔ -u ≤ -q·v̄ and -u is non-decreasing (the
+                # bisect keys on values, so tombstones don't perturb it).
+                cut = bisect_right(
+                    cand, -threshold, i_p, len(cand), key=_key_neg_utility
+                )
+                # Line 12: earliest-deadline-first within N^D.
+                n_d = sorted(
+                    (t for t in cand[i_p:cut] if t[_RID] not in dead),
+                    key=_key_edf,
+                )
+                rest_start = cut
+
+                for t in n_u:
+                    # The utility-dominant prefix fits by construction
+                    # of s_tk (p ≤ s), but guard anyway.
+                    if used + t[_LENGTH] <= L:
+                        row.append(t[_REQ])
+                        used += t[_LENGTH]
+                        chosen.add(t[_RID])
+            # Lines 11–12 consume N^D, lines 13–15 back-fill from the
+            # rest; once the spare capacity is below the shortest
+            # candidate nothing further can fit, so stop scanning (the
+            # reference walks on, selecting nothing — same outcome).
+            for t in n_d:
+                if L - used < min_len:
+                    break
+                if used + t[_LENGTH] <= L:
+                    row.append(t[_REQ])
+                    used += t[_LENGTH]
+                    chosen.add(t[_RID])
+            if L - used >= min_len:
+                for j in range(rest_start, len(cand)):
+                    t = cand[j]
+                    if t[_RID] in dead:
+                        continue
+                    if L - used < min_len:
+                        break
+                    if used + t[_LENGTH] <= L:
+                        row.append(t[_REQ])
+                        used += t[_LENGTH]
+                        chosen.add(t[_RID])
+
+            rows.append(row)
+            parts.append(
+                (
+                    [t[_REQ] for t in n_u if t[_RID] in chosen],
+                    [t[_REQ] for t in n_d if t[_RID] in chosen],
+                )
+            )
+            dead |= chosen
+            live -= len(chosen)
+            total -= used
+            if len(dead) * 2 > len(cand):
+                cand = [t for t in cand if t[_RID] not in dead]
+                dead.clear()
+
+        if self.record_parts:
+            self.last_parts = parts
+        decision = SchedulingDecision(
+            rows=rows,
+            # Per-decision DAS observability (repro.obs): how the
+            # selection split between Algorithm 1's two mechanisms.
+            info={
+                "scheduler": self.name,
+                "eta": eta,
+                "q": q,
+                "num_utility_dominant": sum(len(u) for u, _ in parts),
+                "num_deadline_aware": sum(len(d) for _, d in parts),
+            },
+        )
+        decision.runtime = time.perf_counter() - start
+        return decision
+
+    def _reference_select(
+        self, waiting: Sequence[Request], now: float = 0.0
+    ) -> SchedulingDecision:
+        """The original select — full re-sort and re-sum per row.
+
+        Kept verbatim as the differential oracle; the fast path must
+        reproduce its output (rows, parts, info) bit for bit.
+        """
         start = time.perf_counter()
         eta, q = self.config.eta, self.config.q
         L = self.batch.row_length
@@ -115,7 +381,7 @@ class DASScheduler(Scheduler):
             # Line 7: sort by utility non-increasingly (stable tie-break
             # on id for determinism).
             remaining.sort(key=lambda r: (-r.utility, r.request_id))
-            n_u, n_d, rest = das_row_parts(remaining, L, eta, q)
+            n_u, n_d, rest = _reference_das_row_parts(remaining, L, eta, q)
 
             row: list[Request] = []
             used = 0
@@ -153,8 +419,6 @@ class DASScheduler(Scheduler):
             self.last_parts = parts
         decision = SchedulingDecision(
             rows=rows,
-            # Per-decision DAS observability (repro.obs): how the
-            # selection split between Algorithm 1's two mechanisms.
             info={
                 "scheduler": self.name,
                 "eta": eta,

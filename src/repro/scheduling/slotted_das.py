@@ -33,10 +33,14 @@ class SlottedDASScheduler(Scheduler):
         self,
         batch: BatchConfig,
         config: Optional[SchedulerConfig] = None,
+        *,
+        reference: bool = False,
     ):
         super().__init__(batch)
         self.config = config or SchedulerConfig()
-        self._das = DASScheduler(batch, self.config, record_parts=True)
+        self._das = DASScheduler(
+            batch, self.config, record_parts=True, reference=reference
+        )
 
     def select(
         self, waiting: Sequence[Request], now: float = 0.0

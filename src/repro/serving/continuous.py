@@ -221,7 +221,14 @@ class ContinuousBatchingSimulator:
             # Admit while there is token budget (shrunk under brownout).
             iter_budget = budget if ov is None else ov.scale_budget(budget)
             used = sum(r.request.length for r in running)
-            waiting = sorted(queue.waiting(now), key=key)
+            # The admission orders are total (request-id tie-break), so
+            # the queue's maintained sorted views are bit-identical to
+            # an explicit sort — and skip the per-iteration O(n log n).
+            view = queue.waiting(now)
+            attr = "by_arrival" if self.admission == "fcfs" else "by_utility"
+            waiting = getattr(view, attr, None)
+            if waiting is None:
+                waiting = sorted(view, key=key)
             admitted: list[Request] = []
             for req in waiting:
                 if req.length > self.batch.row_length:
