@@ -1,6 +1,6 @@
 # Convenience targets for the TCB reproduction.
 
-.PHONY: install test bench bench-micro examples figures lint report trace-smoke overload-smoke recovery-smoke clean
+.PHONY: install test bench bench-micro examples figures lint report trace-smoke overload-smoke recovery-smoke tail-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -58,7 +58,16 @@ recovery-smoke:
 	PYTHONPATH=src pytest tests/test_durability.py -q
 	PYTHONPATH=src python -c "from repro.experiments.recovery import recovery_smoke; recovery_smoke()"
 
-report: lint test bench bench-micro overload-smoke recovery-smoke
+# Straggler chaos sweep for the tail-tolerance plane: a gray-failing
+# replica inflates latencies, and hedged dispatch must beat the
+# no-hedging baseline's p99 by a fixed margin at equal load with the
+# ledger conservation-exact.  The sweep JSON always lands in
+# tail_smoke_artifacts/ (CI uploads it).
+tail-smoke:
+	PYTHONPATH=src pytest tests/test_cluster_health.py -q
+	PYTHONPATH=src python -c "from repro.experiments.tail_tolerance import tail_smoke; tail_smoke()"
+
+report: lint test bench bench-micro overload-smoke recovery-smoke tail-smoke
 	python -m repro lint --format json --out lint_report.json
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -1,0 +1,78 @@
+"""Extension bench: tail-tolerance plane — hedged dispatch vs stragglers.
+
+Two properties of the tail-tolerance plane (docs/tail_tolerance.md):
+
+1. **Hedging tail cut** — against a gray-failing replica whose batches
+   straggle at 4–8x their predicted latency, hedged dispatch must beat
+   the no-hedging baseline's p99 batch latency by at least 25% at equal
+   offered load, per seed, with the terminal ledger conservation-exact
+   (a hedge can shift *where* a batch completes, never *whether* its
+   requests are counted once).
+2. **Severity sweep** — the improvement holds across straggler
+   multiplier ranges; the sweep table lands in ``benchmarks/results``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tail_tolerance import run_tail, tail_point
+
+MIN_P99_IMPROVEMENT = 0.25  # the ISSUE 9 acceptance margin
+SEEDS = (0, 1, 2)
+
+
+def test_ext_tail_hedging_beats_p99_margin(benchmark, save_table):
+    def measure():
+        return [tail_point(seed) for seed in SEEDS]
+
+    cells = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    for cell in cells:
+        assert cell["hedged"]["hedges"] > 0, cell
+        assert cell["improvement"] >= MIN_P99_IMPROVEMENT, (
+            f"seed {cell['seed']}: hedging improved p99 by only "
+            f"{cell['improvement']:.0%} "
+            f"({cell['baseline']['p99']:.3f} -> {cell['hedged']['p99']:.3f}), "
+            f"margin {MIN_P99_IMPROVEMENT:.0%}"
+        )
+
+    out = {
+        "seed": [float(c["seed"]) for c in cells],
+        "p99_baseline": [c["baseline"]["p99"] for c in cells],
+        "p99_hedged": [c["hedged"]["p99"] for c in cells],
+        "improvement": [c["improvement"] for c in cells],
+        "hedges": [float(c["hedged"]["hedges"]) for c in cells],
+        "hedge_wins": [float(c["hedged"]["hedge_wins"]) for c in cells],
+    }
+    from repro.experiments.tables import format_series_table
+
+    save_table(
+        "ext_tail_hedging",
+        format_series_table(
+            out, "Extension — hedged dispatch p99 vs no-hedging baseline"
+        ),
+    )
+
+
+def test_ext_tail_severity_sweep(benchmark, save_table):
+    def measure():
+        return run_tail(seeds=(0, 1))
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Hedging clears the margin at the reference severity.  At the
+    # extreme end the *baseline* tail is already clean — detection and
+    # quarantine park a severely straggling replica on their own — so
+    # the requirement there is only that hedging never hurts
+    # materially.
+    assert out["improvement"][1] >= MIN_P99_IMPROVEMENT, out["improvement"]
+    assert all(i >= -0.05 for i in out["improvement"]), out["improvement"]
+    assert all(h > 0 for h in out["hedges"]), out["hedges"]
+
+    from repro.experiments.tables import format_series_table
+
+    save_table(
+        "ext_tail_severity",
+        format_series_table(
+            out, "Extension — hedging improvement vs straggler severity"
+        ),
+    )

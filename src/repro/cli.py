@@ -101,6 +101,7 @@ def _ablations() -> dict[str, tuple[str, Callable[[], dict]]]:
         "faults": ("serving under injected faults", _run_faults),
         "overload": ("goodput vs offered load, shedding off/on", _run_overload),
         "recovery": ("crash/restore cost vs checkpoint interval", _run_recovery),
+        "tail": ("hedged dispatch vs straggler severity", _run_tail),
     }
 
 
@@ -126,6 +127,12 @@ def _run_recovery():
     from repro.experiments.recovery import run_recovery
 
     return run_recovery(seeds=(0, 1))
+
+
+def _run_tail():
+    from repro.experiments.tail_tolerance import run_tail
+
+    return run_tail(seeds=(0, 1))
 
 
 def available_figures() -> list[str]:

@@ -1,0 +1,122 @@
+"""Hedged dispatch: quantile deadlines and first-completion-wins records.
+
+The tail-at-scale playbook (Dean & Barroso) applied to batch serving:
+once a dispatched batch on a SUSPECT engine is known to exceed a
+deadline derived from the rolling latency distribution of *successful*
+batches, a duplicate of the same batch is issued to a healthy idle
+engine; whichever copy finishes first serves the requests and the loser
+is cancelled.  The ledger only ever records the winner, so hedging
+trades duplicated engine-seconds (tracked as ``hedge_wasted``) for p99
+— never for double-counted terminals.
+
+Everything here is pure bookkeeping on the simulated clock: the rolling
+window uses a deterministic nearest-rank quantile (no interpolation, no
+numpy state) so seeded runs and warm restarts reproduce identical hedge
+decisions bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["HedgeConfig", "LatencyWindow", "HedgeResolution"]
+
+
+@dataclass(frozen=True)
+class HedgeConfig:
+    """When to issue a duplicate batch and to whom.
+
+    The deadline is ``multiplier`` × the rolling ``quantile`` of
+    successful batch busy-times; no hedge fires until the window holds
+    ``min_observations`` samples, so cold starts never hedge off noise.
+    With ``only_suspect`` (the default) hedges are restricted to batches
+    running on SUSPECT engines — the scoreboard names the lane, the
+    deadline names the moment.
+    """
+
+    quantile: float = 0.9
+    multiplier: float = 1.0
+    min_observations: int = 8
+    window: int = 64
+    only_suspect: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.quantile < 1.0):
+            raise ValueError(
+                f"quantile must lie in (0, 1), got {self.quantile}"
+            )
+        if self.multiplier <= 0.0 or not math.isfinite(self.multiplier):
+            raise ValueError(
+                f"multiplier must be positive and finite, got {self.multiplier}"
+            )
+        if self.min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {self.min_observations}"
+            )
+        if self.window < self.min_observations:
+            raise ValueError(
+                f"window {self.window} smaller than "
+                f"min_observations {self.min_observations}"
+            )
+
+
+class LatencyWindow:
+    """Rolling window of batch busy-times with a nearest-rank quantile."""
+
+    def __init__(self, window: int) -> None:
+        self.values: deque[float] = deque(maxlen=max(1, window))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile of the window, or None while empty.
+
+        Nearest-rank (ceil(q·n)-th smallest) keeps the estimate an
+        actual observed value — deterministic, monotone in q, and free
+        of float interpolation drift across platforms.
+        """
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
+        return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class HedgeResolution:
+    """Outcome of one hedge attempt, resolved at winner completion.
+
+    ``kind`` is one of:
+
+    - ``"win"``    — the duplicate finished first; primary cancelled,
+    - ``"lose"``   — the primary finished first; duplicate cancelled,
+    - ``"failed"`` — the duplicate itself failed or crashed; the
+      primary's result stands and only wasted time is booked.
+
+    ``winner_dispatch``/``winner_latency`` describe the copy whose
+    result reached the ledger; ``loser_busy`` is the engine time the
+    losing copy consumed before cancellation (0 for ``failed`` hedges,
+    whose wasted attempts are booked separately).  ``result`` carries
+    the duplicate's :class:`~repro.engine.base.BatchResult` when the
+    hedge won (None otherwise — the primary's result stands).
+    """
+
+    kind: str
+    primary: int
+    target: int
+    deadline: float
+    hedge_start: float
+    winner_engine: int
+    winner_dispatch: float
+    winner_latency: float
+    winner_finish: float
+    loser_engine: int
+    loser_busy: float
+    result: Any = None

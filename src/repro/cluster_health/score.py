@@ -1,0 +1,245 @@
+"""Gray-failure detection: per-engine health scoring with hysteresis.
+
+A *gray* engine is alive but slow — it keeps accepting batches and
+returning results, so binary up/down failover (PR 2) and the typed-
+failure circuit breaker (PR 4) never fire, yet every batch it touches
+blows its latency budget.  The scoreboard turns two signals the cluster
+loop already has into a continuous health score per engine:
+
+- **typed fault outcomes** — a failed or crashed slot scores 0,
+- **observed vs. predicted latency** — a successful slot scores 1 when
+  it lands within ``slow_ratio``× of the
+  :class:`~repro.engine.cost_model.GPUCostModel` prediction for its
+  executed layouts, and degrades continuously (``slow_ratio / ratio``)
+  as it straggles past it.
+
+The score is the mean over a rolling window, and a small hysteresis
+state machine lowers it into placement decisions::
+
+    HEALTHY --(score < suspect_score)--> SUSPECT
+    SUSPECT --(score >= healthy_score)--> HEALTHY      (hysteresis gap)
+    any     --(score < quarantine_score)--> QUARANTINED
+    QUARANTINED --(probe batches succeed)--> SUSPECT   (window cleared)
+
+A QUARANTINED engine stops receiving regular placement; it is probed
+with one real batch every ``probe_interval`` simulated seconds, and
+``probe_successes`` consecutive good probes re-admit it as SUSPECT with
+a cleared window (it must re-earn HEALTHY over ``min_window`` fresh
+observations).  Everything advances on the simulated clock and every
+transition is recorded, so a seeded chaos run replays an identical
+transition log.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HealthConfig",
+    "HealthState",
+    "HealthTransition",
+    "EngineScoreboard",
+]
+
+
+class HealthState(enum.Enum):
+    """Placement-facing health of one engine."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Scoring window and hysteresis thresholds for gray detection.
+
+    ``suspect_score`` must sit strictly below ``healthy_score`` — the
+    gap *is* the hysteresis, so an engine hovering at the boundary does
+    not flap — and ``quarantine_score`` strictly below both.
+    """
+
+    # Rolling observations per engine; the score is their mean.
+    window: int = 16
+    # Observations before the score is trusted (until then: HEALTHY).
+    min_window: int = 4
+    # Enter SUSPECT below this score...
+    suspect_score: float = 0.6
+    # ...and only return to HEALTHY at/above this one.
+    healthy_score: float = 0.8
+    # Enter QUARANTINED below this score (from any state).
+    quarantine_score: float = 0.3
+    # Latency ratio (observed / cost-model predicted) scored as on-time;
+    # beyond it the slot's credit decays as slow_ratio / ratio.
+    slow_ratio: float = 2.0
+    # Simulated seconds between probe batches while QUARANTINED.
+    probe_interval: float = 0.5
+    # Consecutive good probes that re-admit a quarantined engine.
+    probe_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.min_window < 1:
+            raise ValueError("window and min_window must be >= 1")
+        if self.min_window > self.window:
+            raise ValueError(
+                f"min_window {self.min_window} exceeds window {self.window}"
+            )
+        if not (
+            0.0 < self.quarantine_score
+            < self.suspect_score
+            < self.healthy_score
+            <= 1.0
+        ):
+            raise ValueError(
+                "thresholds must satisfy 0 < quarantine_score < "
+                "suspect_score < healthy_score <= 1, got "
+                f"({self.quarantine_score}, {self.suspect_score}, "
+                f"{self.healthy_score})"
+            )
+        if self.slow_ratio <= 1.0:
+            raise ValueError(
+                f"slow_ratio must exceed 1, got {self.slow_ratio}"
+            )
+        if self.probe_interval <= 0.0:
+            raise ValueError(
+                f"probe_interval must be positive, got {self.probe_interval}"
+            )
+        if self.probe_successes < 1:
+            raise ValueError(
+                f"probe_successes must be >= 1, got {self.probe_successes}"
+            )
+
+    def credit(self, *, ok: bool, ratio: float = 1.0) -> float:
+        """Score one slot outcome into [0, 1].
+
+        Failures and crashes score 0; successful slots score 1 up to
+        ``slow_ratio``× the predicted latency and decay continuously
+        beyond it, so a mild straggler is penalised less than a 6×
+        one — the *continuous* part of the health score.
+        """
+        if not ok:
+            return 0.0
+        if ratio <= self.slow_ratio:
+            return 1.0
+        return self.slow_ratio / ratio
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One health-state change, on the simulated clock."""
+
+    t: float
+    engine: int
+    old: str
+    new: str
+    score: float
+    reason: str
+
+
+@dataclass
+class EngineScoreboard:
+    """Rolling score + hysteresis state machine for one engine."""
+
+    config: HealthConfig = field(default_factory=HealthConfig)
+    engine: int = 0
+
+    def __post_init__(self) -> None:
+        self.window: deque[float] = deque(maxlen=self.config.window)
+        self.state = HealthState.HEALTHY
+        # Next simulated time a probe batch may dispatch (QUARANTINED).
+        self.probe_at = 0.0
+        self._probe_successes = 0
+        self.transitions: list[HealthTransition] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def score(self) -> float:
+        """Mean credit over the rolling window (1.0 while empty)."""
+        if not self.window:
+            return 1.0
+        return sum(self.window) / len(self.window)
+
+    @property
+    def warmed(self) -> bool:
+        """Whether enough observations exist to trust the score."""
+        return len(self.window) >= self.config.min_window
+
+    def _move(self, now: float, new: HealthState, reason: str) -> None:
+        self.transitions.append(
+            HealthTransition(
+                t=now,
+                engine=self.engine,
+                old=self.state.value,
+                new=new.value,
+                score=self.score,
+                reason=reason,
+            )
+        )
+        self.state = new
+
+    def observe(self, now: float, credit: float) -> bool:
+        """Feed one slot's credit; returns True when the state changed.
+
+        While QUARANTINED the observation *is* a probe outcome: a full-
+        credit slot counts toward re-admission, anything else resets the
+        probe ladder.  Otherwise the window mean drives the hysteresis
+        machine (demotions and promotions wait for ``min_window``
+        observations, so one bad slot on a fresh engine cannot
+        quarantine it).
+        """
+        c = self.config
+        before = self.state
+        if self.state is HealthState.QUARANTINED:
+            self.window.append(credit)
+            if credit >= c.healthy_score:
+                self._probe_successes += 1
+                if self._probe_successes >= c.probe_successes:
+                    # Re-admitted on probation: the window is cleared so
+                    # the engine re-earns HEALTHY over fresh slots
+                    # instead of dragging its quarantine history along.
+                    self.window.clear()
+                    self._probe_successes = 0
+                    self._move(now, HealthState.SUSPECT, "probes succeeded")
+            else:
+                self._probe_successes = 0
+                self.probe_at = now + c.probe_interval
+            return self.state is not before
+
+        self.window.append(credit)
+        if not self.warmed:
+            return False
+        s = self.score
+        if s < c.quarantine_score:
+            self.probe_at = now + c.probe_interval
+            self._probe_successes = 0
+            self._move(
+                now,
+                HealthState.QUARANTINED,
+                f"score {s:.3f} < quarantine {c.quarantine_score}",
+            )
+        elif self.state is HealthState.HEALTHY and s < c.suspect_score:
+            self._move(
+                now,
+                HealthState.SUSPECT,
+                f"score {s:.3f} < suspect {c.suspect_score}",
+            )
+        elif self.state is HealthState.SUSPECT and s >= c.healthy_score:
+            self._move(
+                now,
+                HealthState.HEALTHY,
+                f"score {s:.3f} >= healthy {c.healthy_score}",
+            )
+        return self.state is not before
+
+    def note_probe_dispatch(self, now: float) -> None:
+        """A probe batch just dispatched: schedule the next window."""
+        self.probe_at = now + self.config.probe_interval
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EngineScoreboard(engine={self.engine}, "
+            f"state={self.state.value}, score={self.score:.3f})"
+        )

@@ -44,6 +44,9 @@ def ledger_digest(metrics: "ServingMetrics") -> dict[str, Any]:
         "failed_batches": metrics.failed_batches,
         "downtime": metrics.downtime,
         "shed": metrics.shed,
+        "hedges": getattr(metrics, "hedges", 0),
+        "hedge_wins": getattr(metrics, "hedge_wins", 0),
+        "hedge_wasted": getattr(metrics, "hedge_wasted", 0.0),
         "engine_time": metrics.total_engine_time,
         "num_batches": metrics.num_batches,
         "useful_tokens": metrics.useful_tokens,
@@ -75,6 +78,10 @@ def trace_digest(tracer: Any) -> Optional[dict[str, Any]]:
         "decisions": [(d.t, dict(d.attrs)) for d in tracer.decisions],
         "overload": [
             (e.t, e.kind, dict(e.attrs)) for e in tracer.overload_events
+        ],
+        "health": [
+            (e.t, e.kind, dict(e.attrs))
+            for e in getattr(tracer, "health_events", [])
         ],
         "outcomes": dict(tracer._outcome),
         "duplicates": tracer.duplicate_terminals,

@@ -34,6 +34,7 @@ from repro.durability.records import (
     CommitRecord,
     DispatchRecord,
     EnqueueRecord,
+    HedgeRecord,
     RequeueRecord,
     ShedRecord,
     StepState,
@@ -44,6 +45,7 @@ from repro.durability.snapshot import (
     LiveState,
     Snapshot,
     capture_engine_cursors,
+    health_state,
     overload_state,
 )
 from repro.faults.plan import SchedulerCrash, SchedulerCrashed
@@ -302,6 +304,31 @@ class DurabilityPlane:
             ShedRecord(step=self._step, requests=tuple(requests))
         )
 
+    def hedge(
+        self,
+        requests: Sequence[Request],
+        *,
+        primary: int,
+        target: int,
+        deadline: float,
+        outcome: str,
+        winner_finish: float,
+    ) -> None:
+        """Journal a resolved hedge race (audit-only; see HedgeRecord)."""
+        if not requests:
+            return
+        self.journal.append(
+            HedgeRecord(
+                step=self._step,
+                requests=tuple(requests),
+                primary=primary,
+                target=target,
+                deadline=deadline,
+                outcome=outcome,
+                winner_finish=winner_finish,
+            )
+        )
+
     def requeued(
         self,
         queue: Any,
@@ -376,6 +403,9 @@ class DurabilityPlane:
             failed_batches=m.failed_batches,
             downtime=m.downtime,
             shed=m.shed,
+            hedges=m.hedges,
+            hedge_wins=m.hedge_wins,
+            hedge_wasted=m.hedge_wasted,
             tracer_delta=self._drain_sink(),
             admission_rejected=delta,
             admission_tokens=tokens,
@@ -389,6 +419,7 @@ class DurabilityPlane:
                 else copy.deepcopy(live.rng.bit_generator.state)
             ),
             engine_cursors=capture_engine_cursors(live.engines),
+            health=health_state(live.health),
             extra=dict(live.extra),
         )
         self.journal.append(CommitRecord(step=self._step, state=state))

@@ -35,6 +35,7 @@ __all__ = [
     "TerminalRecord",
     "RequeueRecord",
     "ShedRecord",
+    "HedgeRecord",
     "StepState",
     "CommitRecord",
     "record_from_dict",
@@ -214,6 +215,44 @@ class ShedRecord(JournalRecord):
         }
 
 
+@dataclass(frozen=True)
+class HedgeRecord(JournalRecord):
+    """A hedged dispatch resolved: which copy won, what the loser cost.
+
+    Pure audit record — queue and ledger effects of a hedge ride in the
+    winner's ordinary dispatch/terminal records, so replaying a hedge
+    is a structural no-op (exactly-once by construction).  It exists so
+    a warm restart's journal tells the same hedging story the crashed
+    run would have, and so the differential report can name every race.
+    """
+
+    requests: tuple[Request, ...] = ()
+    primary: int = 0
+    target: int = 0
+    deadline: float = 0.0
+    outcome: str = "lose"  # win | lose | failed
+    winner_finish: float = 0.0
+
+    kind: str = field(default="hedge", init=False)
+
+    def __post_init__(self) -> None:
+        if self.outcome not in ("win", "lose", "failed"):
+            raise ValueError(f"unknown hedge outcome {self.outcome!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "step": self.step,
+            "request_ids": [r.request_id for r in self.requests],
+            "requests": [_request_to_dict(r) for r in self.requests],
+            "primary": self.primary,
+            "target": self.target,
+            "deadline": self.deadline,
+            "outcome": self.outcome,
+            "winner_finish": self.winner_finish,
+        }
+
+
 @dataclass
 class StepState:
     """Absolute small state sealed into a step's commit.
@@ -240,6 +279,9 @@ class StepState:
     failed_batches: int = 0
     downtime: float = 0.0
     shed: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_wasted: float = 0.0
     # Per-step deltas of grow-only state.
     tracer_delta: tuple = ()
     admission_rejected: tuple[Request, ...] = ()
@@ -252,6 +294,8 @@ class StepState:
     iteration: Optional[int] = None
     rng_state: Optional[dict] = None
     engine_cursors: Optional[tuple] = None  # (serve_calls, stragglers, down_until)
+    # Tail-tolerance plane state (None when the run carries no plane).
+    health: Optional[dict] = None
     # Loop-specific extras (e.g. the online server's new responses).
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -306,6 +350,7 @@ _MUTATION_KINDS = {
     "terminal": TerminalRecord,
     "requeue": RequeueRecord,
     "shed": ShedRecord,
+    "hedge": HedgeRecord,
 }
 
 
@@ -350,5 +395,15 @@ def record_from_dict(d: Mapping[str, Any]) -> JournalRecord:
         return ShedRecord(
             step=step,
             requests=tuple(_request_from_dict(r) for r in d["requests"]),
+        )
+    if kind == "hedge":
+        return HedgeRecord(
+            step=step,
+            requests=tuple(_request_from_dict(r) for r in d["requests"]),
+            primary=int(d.get("primary", 0)),
+            target=int(d.get("target", 0)),
+            deadline=float(d.get("deadline", 0.0)),
+            outcome=str(d.get("outcome", "lose")),
+            winner_finish=float(d.get("winner_finish", 0.0)),
         )
     raise ValueError(f"cannot rebuild journal record of kind {kind!r}")

@@ -35,6 +35,7 @@ from repro.durability.records import (
     CommitRecord,
     DispatchRecord,
     EnqueueRecord,
+    HedgeRecord,
     RequeueRecord,
     ShedRecord,
     TerminalRecord,
@@ -74,6 +75,8 @@ def _apply_tracer_delta(tstate: Optional[dict], delta: tuple) -> None:
             tstate["overload_events"].append(item[1])
         elif tag == "durability":
             tstate["durability_events"].append(item[1])
+        elif tag == "health":
+            tstate.setdefault("health_events", []).append(item[1])
 
 
 @dataclass
@@ -100,6 +103,7 @@ class RestoredState:
     iteration: Optional[int] = None
     rng_state: Optional[dict] = None
     engine_cursors: Optional[tuple] = None
+    health: Optional[dict] = None
     extra: dict = field(default_factory=dict)
     snapshot_seq: int = 0
     replayed_records: int = 0
@@ -116,6 +120,7 @@ class RestoredState:
         overload: Any = None,
         admission: Any = None,
         engines: Any = (),
+        health: Any = None,
     ) -> None:
         """Copy restored state in place into the caller-held objects."""
         if (
@@ -133,6 +138,8 @@ class RestoredState:
             tracer.overload_events[:] = t["overload_events"]
             if hasattr(tracer, "durability_events"):
                 tracer.durability_events[:] = t["durability_events"]
+            if hasattr(tracer, "health_events"):
+                tracer.health_events[:] = t.get("health_events", [])
             tracer._outcome.clear()
             tracer._outcome.update(t["outcome"])
             tracer.duplicate_terminals = t["duplicate_terminals"]
@@ -161,6 +168,8 @@ class RestoredState:
                 engine.serve_calls = cursors[0]
                 engine.straggler_events = cursors[1]
                 engine.down_until = cursors[2]
+        if health is not None and self.health is not None:
+            health.apply_state(copy.deepcopy(self.health))
 
 
 def restore_state(
@@ -190,6 +199,7 @@ def restore_state(
     iteration = snap.iteration
     rng_state = copy.deepcopy(snap.rng_state)
     engine_cursors = snap.engine_cursors
+    hstate = copy.deepcopy(snap.health)
     extra = copy.deepcopy(snap.extra)
     now = snap.now
     next_arrival = snap.next_arrival
@@ -241,6 +251,12 @@ def restore_state(
             # shed_requests bumps metrics.shed incrementally; the next
             # commit overwrites it with the absolute recorded value.
             shed_requests(queue, metrics, list(rec.requests), now)
+        elif isinstance(rec, HedgeRecord):
+            # Audit-only: the winner's dispatch/terminal records carry
+            # every queue and ledger effect, and hedge counters are
+            # restored absolutely at each commit — replaying the race
+            # twice is impossible by construction (exactly-once).
+            pass
         elif isinstance(rec, CommitRecord):
             st = rec.state
             now = st.now
@@ -255,6 +271,9 @@ def restore_state(
             metrics.failed_batches = st.failed_batches
             metrics.downtime = st.downtime
             metrics.shed = st.shed
+            metrics.hedges = st.hedges
+            metrics.hedge_wins = st.hedge_wins
+            metrics.hedge_wasted = st.hedge_wasted
             _apply_tracer_delta(tstate, st.tracer_delta)
             if admission is not None:
                 admission[1].extend(st.admission_rejected)
@@ -272,6 +291,8 @@ def restore_state(
                 rng_state = copy.deepcopy(st.rng_state)
             if st.engine_cursors is not None:
                 engine_cursors = st.engine_cursors
+            if st.health is not None:
+                hstate = copy.deepcopy(st.health)
             if st.extra:
                 extra.update(copy.deepcopy(st.extra))
             step = rec.step + 1
@@ -303,6 +324,7 @@ def restore_state(
         iteration=iteration,
         rng_state=rng_state,
         engine_cursors=engine_cursors,
+        health=hstate,
         extra=extra,
         snapshot_seq=snap.seq,
         replayed_records=replayed,

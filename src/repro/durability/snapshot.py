@@ -30,6 +30,7 @@ __all__ = [
     "LiveState",
     "Snapshot",
     "capture_engine_cursors",
+    "health_state",
     "overload_state",
     "tracer_state",
 ]
@@ -51,6 +52,7 @@ def tracer_state(tracer: Any) -> Optional[dict]:
         "decisions": list(tracer.decisions),
         "overload_events": list(tracer.overload_events),
         "durability_events": list(getattr(tracer, "durability_events", [])),
+        "health_events": list(getattr(tracer, "health_events", [])),
         "outcome": dict(tracer._outcome),
         "duplicate_terminals": tracer.duplicate_terminals,
         "attempts": dict(tracer.attempts),
@@ -75,6 +77,18 @@ def overload_state(ov: Any) -> Optional[dict]:
         "breakers": copy.deepcopy(ov._breakers),
         "shedder_decision": getattr(ov._shedder, "_decision", None),
     }
+
+
+def health_state(hp: Any) -> Optional[dict]:
+    """The tail-tolerance plane's mutable state (None when absent/inert).
+
+    ``export_state`` returns fresh containers of immutable values, so a
+    later plane mutation can never reach into a snapshot; the dict is
+    deep-copied again where StepState/Snapshot semantics require it.
+    """
+    if hp is None or not getattr(hp, "enabled", False):
+        return None
+    return hp.export_state()
 
 
 def capture_engine_cursors(engines: Any) -> Optional[tuple]:
@@ -120,6 +134,8 @@ class LiveState:
     running: Optional[list] = None
     iteration: Optional[int] = None
     rng: Any = None
+    # The live TailTolerancePlane (None when the run carries no plane).
+    health: Any = None
     extra: dict = field(default_factory=dict)
 
 
@@ -146,6 +162,7 @@ class Snapshot:
     iteration: Optional[int]
     rng_state: Optional[dict]
     engine_cursors: Optional[tuple]
+    health: Optional[dict]
     extra: dict
 
     @classmethod
@@ -177,6 +194,7 @@ class Snapshot:
                 else copy.deepcopy(live.rng.bit_generator.state)
             ),
             engine_cursors=capture_engine_cursors(live.engines),
+            health=health_state(live.health),
             extra=copy.deepcopy(live.extra),
         )
 

@@ -20,7 +20,13 @@ chaos sweep showing DAS degrades gracefully under rising fault rates.
 
 from repro.faults.engine import FaultyEngine
 from repro.faults.outcomes import BatchFailure, EngineDown, FaultOutcome
-from repro.faults.plan import FaultConfig, FaultEvent, FaultKind, FaultPlan
+from repro.faults.plan import (
+    FaultConfig,
+    FaultConfigError,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+)
 from repro.faults.recovery import (
     RetryPolicy,
     SlotOutcome,
@@ -30,6 +36,7 @@ from repro.faults.recovery import (
 
 __all__ = [
     "FaultConfig",
+    "FaultConfigError",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",

@@ -16,6 +16,7 @@ loop recovers (requeue, split-batch retry, failover) lives in
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,10 +27,20 @@ __all__ = [
     "FaultKind",
     "FaultEvent",
     "FaultConfig",
+    "FaultConfigError",
     "FaultPlan",
     "SchedulerCrash",
     "SchedulerCrashed",
 ]
+
+
+class FaultConfigError(ValueError):
+    """An ill-formed fault plan configuration or event.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` guards
+    keep working; callers who want to distinguish chaos-plan mistakes
+    from other argument errors catch this type.
+    """
 
 # Stream-domain tag mixed into every SeedSequence key below.  Each
 # consumer of per-index child streams owns a distinct tag so two
@@ -53,13 +64,50 @@ class FaultKind(enum.Enum):
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One slot's injected fault (``NONE`` for the healthy common case)."""
+    """One slot's injected fault (``NONE`` for the healthy common case).
+
+    Shape parameters are validated against the kind: a ``NONE`` event
+    must be truly inert (a "zero-probability" slot cannot smuggle in a
+    latency multiplier or downtime), a ``STRAGGLER`` must actually
+    inflate latency, and a ``CRASH`` must carry a positive recovery
+    interval — otherwise downstream accounting silently degrades.
+    """
 
     kind: FaultKind = FaultKind.NONE
     # Latency multiplier; only meaningful for STRAGGLER events.
     multiplier: float = 1.0
     # Engine recovery interval in seconds; only meaningful for CRASH.
     downtime: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.multiplier) or not math.isfinite(
+            self.downtime
+        ):
+            raise FaultConfigError(
+                f"fault event parameters must be finite, got "
+                f"multiplier={self.multiplier}, downtime={self.downtime}"
+            )
+        if self.kind is FaultKind.STRAGGLER:
+            if self.multiplier < 1.0:
+                raise FaultConfigError(
+                    f"straggler multiplier must be >= 1, "
+                    f"got {self.multiplier}"
+                )
+        elif self.multiplier != 1.0:
+            raise FaultConfigError(
+                f"{self.kind.value} event cannot carry a latency "
+                f"multiplier ({self.multiplier})"
+            )
+        if self.kind is FaultKind.CRASH:
+            if self.downtime <= 0.0:
+                raise FaultConfigError(
+                    f"crash downtime must be positive, got {self.downtime}"
+                )
+        elif self.downtime != 0.0:
+            raise FaultConfigError(
+                f"{self.kind.value} event cannot carry a downtime "
+                f"({self.downtime})"
+            )
 
 
 @dataclass(frozen=True)
@@ -92,19 +140,27 @@ class FaultConfig:
         )
         for r in rates:
             if not 0.0 <= r <= 1.0:
-                raise ValueError(f"fault rates must be in [0, 1], got {r}")
+                raise FaultConfigError(
+                    f"fault rates must be in [0, 1], got {r}"
+                )
         if sum(rates) > 1.0 + 1e-12:
-            raise ValueError(f"fault rates sum to {sum(rates)} > 1")
+            raise FaultConfigError(f"fault rates sum to {sum(rates)} > 1")
         lo, hi = self.straggler_multiplier
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            raise FaultConfigError(
+                f"straggler_multiplier range must be finite, got ({lo}, {hi})"
+            )
         if lo < 1.0 or hi < lo:
-            raise ValueError(
+            raise FaultConfigError(
                 f"straggler_multiplier range must satisfy 1 <= lo <= hi, "
                 f"got ({lo}, {hi})"
             )
-        if self.downtime <= 0.0:
-            raise ValueError(f"downtime must be positive, got {self.downtime}")
+        if self.downtime <= 0.0 or not math.isfinite(self.downtime):
+            raise FaultConfigError(
+                f"downtime must be positive and finite, got {self.downtime}"
+            )
         if not 0.0 < self.oom_threshold <= 1.0:
-            raise ValueError(
+            raise FaultConfigError(
                 f"oom_threshold must be in (0, 1], got {self.oom_threshold}"
             )
 
@@ -125,7 +181,7 @@ class FaultConfig:
         OOM / crash (ordered from most to least common in real fleets).
         """
         if not 0.0 <= rate <= 1.0:
-            raise ValueError(f"rate must be in [0, 1], got {rate}")
+            raise FaultConfigError(f"rate must be in [0, 1], got {rate}")
         return cls(
             failure_rate=0.4 * rate,
             straggler_rate=0.3 * rate,

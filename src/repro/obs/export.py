@@ -12,10 +12,11 @@ pid   lane         tid convention
 3     scheduler    0
 4     overload     engine index for breaker events, else 0
 5     durability   0 (snapshots/commits/crashes/restores)
+6     health       engine index (transitions/probes/hedges)
 ====  ===========  ============================================
 
-Lanes 4 and 5 are *conditional*: their metadata entries appear only
-when the trace actually carries overload / durability events, so
+Lanes 4–6 are *conditional*: their metadata entries appear only when
+the trace actually carries overload / durability / health events, so
 traces from plain runs keep exactly the three classic lanes.
 
 Timestamps are simulated seconds scaled to microseconds (Chrome's
@@ -41,6 +42,7 @@ __all__ = [
     "PID_SCHEDULER",
     "PID_OVERLOAD",
     "PID_DURABILITY",
+    "PID_HEALTH",
     "TIME_SCALE",
     "chrome_trace",
     "chrome_trace_json",
@@ -61,6 +63,9 @@ PID_OVERLOAD = 4
 # the overload lane its metadata entry is emitted only when the trace
 # carries durability events, so pre-durability traces are unchanged.
 PID_DURABILITY = 5
+# Tail-tolerance lane (health transitions, probes, hedges); conditional
+# like the overload and durability lanes.
+PID_HEALTH = 6
 
 # Simulated seconds -> Chrome's microsecond ``ts`` unit.
 TIME_SCALE = 1e6
@@ -71,10 +76,11 @@ _PROCESS_NAMES = {
     PID_SCHEDULER: "scheduler",
     PID_OVERLOAD: "overload",
     PID_DURABILITY: "durability",
+    PID_HEALTH: "health",
 }
 
 # Lanes whose metadata is conditional on the trace actually using them.
-_OPTIONAL_PIDS = (PID_OVERLOAD, PID_DURABILITY)
+_OPTIONAL_PIDS = (PID_OVERLOAD, PID_DURABILITY, PID_HEALTH)
 
 
 def _metadata_events(*, active: frozenset[int] = frozenset()) -> list[dict[str, Any]]:
@@ -97,11 +103,13 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
     """Lower a recorded trace to a Chrome ``trace_event`` document."""
     overload = getattr(tracer, "overload_events", [])
     durability = getattr(tracer, "durability_events", [])
+    health = getattr(tracer, "health_events", [])
     active = frozenset(
         pid
         for pid, used in (
             (PID_OVERLOAD, overload),
             (PID_DURABILITY, durability),
+            (PID_HEALTH, health),
         )
         if used
     )
@@ -178,6 +186,20 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
                 "pid": PID_DURABILITY,
                 "tid": 0,
                 "args": {"t": du.t, **du.attrs},
+            }
+        )
+    for he in health:
+        events.append(
+            {
+                "name": he.kind,
+                "cat": "health",
+                "ph": "i",
+                "s": "t",
+                "ts": he.t * TIME_SCALE,
+                "pid": PID_HEALTH,
+                # Health events always concern one engine's lane.
+                "tid": int(he.attrs.get("engine", 0)),
+                "args": {"t": he.t, **he.attrs},
             }
         )
     return {

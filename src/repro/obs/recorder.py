@@ -29,6 +29,7 @@ from repro.obs.spans import (
     BatchEvent,
     DurabilityEvent,
     EventKind,
+    HealthEvent,
     OverloadEvent,
     RequestEvent,
     SchedulerEvent,
@@ -83,6 +84,9 @@ class Tracer:
         self.attempts: dict[int, int] = {}
         # Durability-plane actions: snapshots, commits, crash, restore.
         self.durability_events: list[DurabilityEvent] = []
+        # Tail-tolerance-plane actions: health transitions, probes,
+        # hedges and their resolutions.
+        self.health_events: list[HealthEvent] = []
         # Optional journal sink: when the durability plane attaches a
         # list here, every post-dedupe emission is mirrored into it as a
         # tagged tuple, giving the plane an exact per-step delta of the
@@ -239,6 +243,15 @@ class Tracer:
         self.durability_events.append(event)
         if self.sink is not None:
             self.sink.append(("durability", event))
+
+    def health(self, t: float, kind: str, **attrs: Any) -> None:
+        """Record one tail-tolerance action (transition / probe / hedge)."""
+        if not self.enabled:
+            return
+        event = HealthEvent(t=t, kind=kind, attrs=attrs)
+        self.health_events.append(event)
+        if self.sink is not None:
+            self.sink.append(("health", event))
 
     # ------------------------------------------------------------------ #
     # Derived views

@@ -37,6 +37,7 @@ __all__ = [
     "SchedulerEvent",
     "OverloadEvent",
     "DurabilityEvent",
+    "HealthEvent",
 ]
 
 
@@ -141,6 +142,24 @@ class DurabilityEvent:
     replayed/voided record counts).  Like overload events these are
     control-plane actions, not lifecycle steps of any request, so they
     live in their own lane.
+    """
+
+    t: float
+    kind: str
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One tail-tolerance-plane action, on the simulated clock.
+
+    ``kind`` names the action — ``"health"`` (a scoreboard state
+    transition with old/new state, score and reason), ``"probe"`` (a
+    probe batch dispatched on a quarantined engine), ``"hedge"`` (a
+    duplicate batch issued past the hedge deadline) or
+    ``"hedge-win"`` / ``"hedge-lose"`` / ``"hedge-failed"`` (how the
+    race resolved).  Control-plane actions about engines, not lifecycle
+    steps of any request, so they live in their own lane.
     """
 
     t: float

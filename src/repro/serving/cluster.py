@@ -26,6 +26,8 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Optional, Sequence
 
+from repro.cluster_health.hedge import HedgeResolution
+from repro.cluster_health.plane import TailTolerancePlane
 from repro.durability.plane import DurabilityPlane
 from repro.durability.restore import RestoredState
 from repro.durability.snapshot import LiveState
@@ -59,6 +61,7 @@ class ClusterSimulator:
         trace: Optional[Tracer] = None,
         overload: Optional[OverloadController] = None,
         durability: Optional[DurabilityPlane] = None,
+        health: Optional[TailTolerancePlane] = None,
     ):
         if not engines:
             raise ValueError("need at least one engine")
@@ -75,6 +78,12 @@ class ClusterSimulator:
         # idle heap is part of the snapshot, so a restore resumes with
         # every engine's busy-until clock intact.
         self.durability = durability
+        # Tail-tolerance plane (off by default; docs/tail_tolerance.md):
+        # gray-failure detection, health-scored placement, drains and
+        # hedged dispatch.  Composes with — but is distinct from — the
+        # overload plane's circuit breaker: the breaker reacts to typed
+        # failures, the health plane also to slowness.
+        self.health = health
 
     def _release(self, requests: Iterable[Request]) -> None:
         if self.admission is not None:
@@ -88,6 +97,219 @@ class ClusterSimulator:
         later = [t for (t, _, _) in idle if t > now]
         return min(later) if later else None
 
+    def _hedge(
+        self,
+        hp: TailTolerancePlane,
+        idle: list,
+        primary_idx: int,
+        selected: list,
+        now: float,
+        outcome,
+        deadline: float,
+        primary_finish: float,
+        metrics: ServingMetrics,
+        ov: Optional[OverloadController],
+        tr,
+        dur: Optional[DurabilityPlane],
+    ) -> Optional[HedgeResolution]:
+        """Race a duplicate of ``selected`` against a straggling slot.
+
+        Called once the primary's busy time is known to blow the hedge
+        deadline.  Picks a healthy idle engine able to start at
+        ``now + deadline``, write-ahead journals the duplicate dispatch,
+        serves it, and resolves first-completion-wins.  Exactly-once
+        discipline: the loser — or a failed duplicate — never touches
+        the queue or the terminal ledger; only the winner's result flows
+        back into the caller's (single) serve path, so conservation and
+        terminal dedupe hold exactly.  Returns ``None`` when no eligible
+        target exists (the primary simply finishes late).
+        """
+        hedge_start = now + deadline
+        entry = hp.hedge_target(idle, primary_idx, hedge_start)
+        if entry is None:
+            return None
+        idle.remove(entry)
+        heapq.heapify(idle)
+        target_idx = entry[2]
+        target = self.engines[target_idx]
+        primary_dispatch = now + outcome.wasted
+        metrics.hedges += 1
+        if tr.enabled:
+            tr.health(
+                hedge_start,
+                "hedge",
+                engine=primary_idx,
+                target=target_idx,
+                deadline=deadline,
+                num_requests=len(selected),
+            )
+        if dur is not None:
+            dur.dispatch(selected, engine=target_idx)
+        h_out = serve_slot(target, selected, hedge_start)
+        metrics.failed_batches += h_out.failures
+        metrics.retries += h_out.split_retries
+        metrics.total_engine_time += h_out.wasted
+        metrics.hedge_wasted += h_out.wasted
+        if ov is not None:
+            ov.record_result(
+                target_idx,
+                hedge_start + h_out.wasted,
+                ok=h_out.result is not None,
+                kind="crash" if h_out.down_until is not None else "failure",
+                tracer=tr,
+            )
+        if h_out.result is not None:
+            hp.observe(
+                target_idx,
+                hedge_start + h_out.wasted,
+                ok=True,
+                observed=max(h_out.result.latency, MIN_SLOT),
+                predicted=hp.predict(target, h_out.result),
+                tracer=tr,
+            )
+        else:
+            hp.observe(
+                target_idx, hedge_start + h_out.wasted, ok=False, tracer=tr
+            )
+        if tr.enabled and h_out.failures:
+            tr.batch(
+                hedge_start,
+                h_out.wasted,
+                engine=target_idx,
+                kind="failed",
+                failures=h_out.failures,
+                split_retries=h_out.split_retries,
+                num_requests=len(selected),
+            )
+        if h_out.result is None:
+            # The duplicate itself failed or crashed.  Its requests are
+            # NOT requeued or abandoned — the primary's in-flight copy
+            # still owns them (exactly-once); only engine time and
+            # downtime are booked, and the target re-arms like any
+            # failed slot.
+            if h_out.down_until is not None:
+                metrics.downtime += h_out.downtime
+                if tr.enabled:
+                    tr.batch(
+                        hedge_start + h_out.wasted,
+                        h_out.downtime,
+                        engine=target_idx,
+                        kind="crash",
+                        downtime=h_out.downtime,
+                    )
+                heapq.heappush(idle, (h_out.down_until, target_idx, target_idx))
+            else:
+                heapq.heappush(
+                    idle, (hedge_start + h_out.wasted, target_idx, target_idx)
+                )
+            res = HedgeResolution(
+                kind="failed",
+                primary=primary_idx,
+                target=target_idx,
+                deadline=deadline,
+                hedge_start=hedge_start,
+                winner_engine=primary_idx,
+                winner_dispatch=primary_dispatch,
+                winner_latency=primary_finish - primary_dispatch,
+                winner_finish=primary_finish,
+                loser_engine=target_idx,
+                loser_busy=h_out.wasted,
+            )
+        else:
+            h_latency = max(h_out.result.latency, MIN_SLOT)
+            h_dispatch = hedge_start + h_out.wasted
+            h_finish = h_dispatch + h_latency
+            if h_finish < primary_finish:
+                # Duplicate wins: the straggling primary is cancelled
+                # the moment the duplicate's result lands; its partial
+                # slot time is booked as hedge waste.  (If the primary
+                # was still burning failed-attempt waste at that point,
+                # its successful attempt never started — zero partial.)
+                cancel_at = max(h_finish, primary_dispatch)
+                loser_busy = cancel_at - primary_dispatch
+                metrics.total_engine_time += loser_busy
+                metrics.hedge_wasted += loser_busy
+                metrics.hedge_wins += 1
+                hp.note_hedged_latency(h_out.wasted + h_latency)
+                if tr.enabled:
+                    tr.batch(
+                        primary_dispatch,
+                        loser_busy,
+                        engine=primary_idx,
+                        kind="cancelled",
+                        num_requests=len(selected),
+                        hedge_target=target_idx,
+                    )
+                    tr.health(
+                        h_finish,
+                        "hedge-win",
+                        engine=primary_idx,
+                        target=target_idx,
+                        saved=primary_finish - h_finish,
+                    )
+                heapq.heappush(idle, (h_finish, target_idx, target_idx))
+                res = HedgeResolution(
+                    kind="win",
+                    primary=primary_idx,
+                    target=target_idx,
+                    deadline=deadline,
+                    hedge_start=hedge_start,
+                    winner_engine=target_idx,
+                    winner_dispatch=h_dispatch,
+                    winner_latency=h_latency,
+                    winner_finish=h_finish,
+                    loser_engine=primary_idx,
+                    loser_busy=loser_busy,
+                    result=h_out.result,
+                )
+            else:
+                # Primary wins (ties go to the primary — no re-dispatch
+                # churn on equal finishes): the duplicate is cancelled
+                # at the primary's finish.
+                cancel_at = max(primary_finish, h_dispatch)
+                loser_busy = cancel_at - h_dispatch
+                metrics.total_engine_time += loser_busy
+                metrics.hedge_wasted += loser_busy
+                if tr.enabled:
+                    tr.batch(
+                        h_dispatch,
+                        loser_busy,
+                        engine=target_idx,
+                        kind="cancelled",
+                        num_requests=len(selected),
+                        hedge_primary=primary_idx,
+                    )
+                    tr.health(
+                        primary_finish,
+                        "hedge-lose",
+                        engine=primary_idx,
+                        target=target_idx,
+                    )
+                heapq.heappush(idle, (cancel_at, target_idx, target_idx))
+                res = HedgeResolution(
+                    kind="lose",
+                    primary=primary_idx,
+                    target=target_idx,
+                    deadline=deadline,
+                    hedge_start=hedge_start,
+                    winner_engine=primary_idx,
+                    winner_dispatch=primary_dispatch,
+                    winner_latency=primary_finish - primary_dispatch,
+                    winner_finish=primary_finish,
+                    loser_engine=target_idx,
+                    loser_busy=loser_busy,
+                )
+        if dur is not None:
+            dur.hedge(
+                selected,
+                primary=primary_idx,
+                target=target_idx,
+                deadline=deadline,
+                outcome=res.kind,
+                winner_finish=res.winner_finish,
+            )
+        return res
+
     def run(
         self,
         workload: WorkloadGenerator | Sequence[Request],
@@ -100,6 +322,11 @@ class ClusterSimulator:
         tr = self.trace if self.trace is not None else NO_TRACE
         ov = self.overload
         dur = self.durability
+        hp = (
+            self.health
+            if self.health is not None and self.health.enabled
+            else None
+        )
         if resume is not None:
             if dur is None:
                 raise ValueError("resume= requires a durability plane")
@@ -116,12 +343,15 @@ class ClusterSimulator:
                 overload=ov,
                 admission=self.admission,
                 engines=self.engines,
+                health=hp,
             )
         else:
             metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
             queue = RequestQueue()
             if ov is not None:
                 ov.begin_run()
+            if hp is not None:
+                hp.begin_run()
             rejected_before = (
                 len(self.admission.rejected)
                 if self.admission is not None
@@ -149,6 +379,7 @@ class ClusterSimulator:
                     admission=self.admission,
                     engines=self.engines,
                     idle=list(idle),
+                    health=hp,
                 )
 
             dur.begin_run(_live, tr, resume=resume)
@@ -158,9 +389,25 @@ class ClusterSimulator:
             # still holds the engine this step is about to claim.
             if dur is not None:
                 dur.tick()
-            now, _, engine_idx = heapq.heappop(idle)
+            now, tiebreak, engine_idx = heapq.heappop(idle)
             if now >= horizon:
                 break
+            if hp is not None:
+                # Health-scored placement: gather every engine idle at
+                # this exact timestamp and let the plane pick the
+                # healthiest (deterministic tie-break via its dedicated
+                # RNG stream).  Losing candidates stay due at `now`;
+                # drained or quarantined engines are re-armed at their
+                # re-admission / probe time.
+                group = [(now, tiebreak, engine_idx)]
+                while idle and idle[0][0] == now:
+                    group.append(heapq.heappop(idle))
+                chosen, deferred = hp.place(group, now, tracer=tr)
+                for entry in deferred:
+                    heapq.heappush(idle, entry)
+                if chosen is None:
+                    continue
+                now, tiebreak, engine_idx = chosen
             while next_arrival < n and requests[next_arrival].arrival <= now:
                 r = requests[next_arrival]
                 if self.admission is None or self.admission.admit(r, r.arrival):
@@ -284,6 +531,13 @@ class ClusterSimulator:
                 tr.scheduled(selected, now)
             if dur is not None:
                 dur.dispatch(selected, engine=engine_idx)
+            # The hedge deadline is priced *before* dispatch, from the
+            # pre-dispatch scoreboard and latency window only — the
+            # decision at `now + deadline` must be causal, never a
+            # function of the batch's own (future) outcome.
+            hedge_deadline = (
+                hp.hedge_deadline(engine_idx) if hp is not None else None
+            )
             outcome = serve_slot(engine, selected, now)
             metrics.failed_batches += outcome.failures
             metrics.retries += outcome.split_retries
@@ -296,6 +550,20 @@ class ClusterSimulator:
                     kind="crash" if outcome.down_until is not None else "failure",
                     tracer=tr,
                 )
+            if hp is not None:
+                if outcome.result is not None:
+                    hp.observe(
+                        engine_idx,
+                        now + outcome.wasted,
+                        ok=True,
+                        observed=max(outcome.result.latency, MIN_SLOT),
+                        predicted=hp.predict(engine, outcome.result),
+                        tracer=tr,
+                    )
+                else:
+                    hp.observe(
+                        engine_idx, now + outcome.wasted, ok=False, tracer=tr
+                    )
             if tr.enabled and outcome.failures:
                 tr.batch(
                     now,
@@ -356,17 +624,45 @@ class ClusterSimulator:
 
             batch_result = outcome.result
             latency = max(batch_result.latency, MIN_SLOT)
-            finish = now + outcome.wasted + latency
+            dispatch = now + outcome.wasted
+            finish = dispatch + latency
+            serve_engine = engine_idx
+            if (
+                hedge_deadline is not None
+                and outcome.wasted + latency > hedge_deadline
+            ):
+                res = self._hedge(
+                    hp,
+                    idle,
+                    engine_idx,
+                    selected,
+                    now,
+                    outcome,
+                    hedge_deadline,
+                    finish,
+                    metrics,
+                    ov,
+                    tr,
+                    dur,
+                )
+                if res is not None and res.kind == "win":
+                    # First completion wins: the duplicate's result is
+                    # the batch's one terminal outcome; the straggling
+                    # primary was cancelled inside _hedge.
+                    batch_result = res.result
+                    latency = res.winner_latency
+                    dispatch = res.winner_dispatch
+                    finish = res.winner_finish
+                    serve_engine = res.winner_engine
             if tr.enabled:
-                dispatch = now + outcome.wasted
                 tr.packed_layouts(batch_result.layouts, dispatch)
                 tr.executed(
-                    batch_result.served, dispatch, latency, engine=engine_idx
+                    batch_result.served, dispatch, latency, engine=serve_engine
                 )
                 tr.batch(
                     dispatch,
                     latency,
-                    engine=engine_idx,
+                    engine=serve_engine,
                     kind="batch",
                     num_requests=batch_result.num_served,
                     useful_tokens=batch_result.stats.useful_tokens,
@@ -378,7 +674,9 @@ class ClusterSimulator:
                     failures=outcome.failures,
                     split_retries=outcome.split_retries,
                     wasted=outcome.wasted,
-                    **engine.trace_annotations(batch_result),
+                    **self.engines[serve_engine].trace_annotations(
+                        batch_result
+                    ),
                 )
                 served_ids = {r.request_id for r in batch_result.served}
                 tr.requeued(
@@ -405,7 +703,14 @@ class ClusterSimulator:
             metrics.num_batches += 1
             metrics.useful_tokens += batch_result.stats.useful_tokens
             metrics.padded_tokens += batch_result.stats.padded_tokens
-            heapq.heappush(idle, (finish, engine_idx, engine_idx))
+            # The primary engine re-arms at `finish` (its own finish, or
+            # — after a hedge win — the winner's finish, which is its
+            # cancellation point).  The max() guards the corner where
+            # the primary's failed-attempt waste outlasts the winner;
+            # without a hedge it is exactly `finish`.
+            heapq.heappush(
+                idle, (max(finish, now + outcome.wasted), engine_idx, engine_idx)
+            )
 
         dead = queue.expire(float("inf"))
         if tr.enabled:

@@ -46,6 +46,14 @@ class ServingMetrics:
     # How many of `rejected` were shed *after* queueing (load shedding),
     # as opposed to refused at arrival by the admission controller.
     shed: int = 0
+    # ---- tail-tolerance accounting ----------------------------------- #
+    # Duplicate batches issued past a hedge deadline.
+    hedges: int = 0
+    # Hedges whose duplicate finished first (primary cancelled).
+    hedge_wins: int = 0
+    # Engine seconds consumed by hedge losers / failed duplicates —
+    # time spent buying the tail down, never producing served output.
+    hedge_wasted: float = 0.0
 
     # ------------------------------------------------------------------ #
 
@@ -174,6 +182,9 @@ class ServingMetrics:
             "retries": float(self.retries),
             "failed_batches": float(self.failed_batches),
             "downtime": self.downtime,
+            "hedges": float(self.hedges),
+            "hedge_wins": float(self.hedge_wins),
+            "hedge_wasted": self.hedge_wasted,
             "throughput": self.throughput,
             "miss_rate": self.miss_rate,
             "mean_latency": self.mean_latency,

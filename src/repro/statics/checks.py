@@ -167,6 +167,7 @@ class SimTimePurity(Rule):
         "repro/obs/",
         "repro/overload/",
         "repro/durability/",
+        "repro/cluster_health/",
     )
     _BANNED = frozenset(
         {
@@ -431,6 +432,7 @@ class LedgeredDrops(Rule):
         "repro/scheduling/queue.py",
         "repro/overload/",
         "repro/durability/",
+        "repro/cluster_health/",
     )
     _LEDGER_METHODS = frozenset({"drop", "take"})
 

@@ -12,6 +12,8 @@ from repro.faults import (
     BatchFailure,
     EngineDown,
     FaultConfig,
+    FaultConfigError,
+    FaultEvent,
     FaultKind,
     FaultPlan,
     FaultyEngine,
@@ -77,6 +79,53 @@ class TestFaultConfig:
         assert FaultConfig.chaos(0.0).is_zero
         with pytest.raises(ValueError):
             FaultConfig.chaos(1.5)
+
+
+class TestTypedValidation:
+    """ISSUE 9 satellite: ill-formed plans raise FaultConfigError (a
+    ValueError subclass) instead of silently degrading."""
+
+    def test_error_type_is_value_error_subclass(self):
+        assert issubclass(FaultConfigError, ValueError)
+        with pytest.raises(FaultConfigError):
+            FaultConfig(failure_rate=2.0)
+
+    def test_inverted_straggler_range(self):
+        with pytest.raises(FaultConfigError, match="lo <= hi"):
+            FaultConfig(straggler_multiplier=(6.0, 2.0))
+
+    def test_negative_straggler_range(self):
+        with pytest.raises(FaultConfigError, match="straggler_multiplier"):
+            FaultConfig(straggler_multiplier=(-2.0, 6.0))
+
+    def test_non_finite_parameters(self):
+        with pytest.raises(FaultConfigError, match="finite"):
+            FaultConfig(straggler_multiplier=(1.0, float("inf")))
+        with pytest.raises(FaultConfigError, match="finite"):
+            FaultConfig(downtime=float("nan"))
+
+    def test_zero_probability_event_cannot_carry_payload(self):
+        """A NONE event claiming a multiplier or downtime is a plan bug
+        — the slot says 'no fault' while smuggling in fault shape."""
+        with pytest.raises(FaultConfigError, match="multiplier"):
+            FaultEvent(kind=FaultKind.NONE, multiplier=4.0)
+        with pytest.raises(FaultConfigError, match="downtime"):
+            FaultEvent(kind=FaultKind.NONE, downtime=1.0)
+        with pytest.raises(FaultConfigError, match="multiplier"):
+            FaultEvent(kind=FaultKind.FAILURE, multiplier=2.0)
+
+    def test_event_kind_shape_pairing(self):
+        with pytest.raises(FaultConfigError, match=">= 1"):
+            FaultEvent(kind=FaultKind.STRAGGLER, multiplier=0.5)
+        with pytest.raises(FaultConfigError, match="positive"):
+            FaultEvent(kind=FaultKind.CRASH, downtime=0.0)
+        # Well-formed events are untouched.
+        FaultEvent(kind=FaultKind.STRAGGLER, multiplier=3.0)
+        FaultEvent(kind=FaultKind.CRASH, downtime=0.5)
+        FaultEvent()
+
+    def test_chaos_zero_rate_still_valid(self):
+        assert FaultConfig.chaos(0.0, downtime=0.5).is_zero
 
 
 class TestFaultPlan:
