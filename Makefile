@@ -1,6 +1,6 @@
 # Convenience targets for the TCB reproduction.
 
-.PHONY: install test bench bench-micro examples figures lint report trace-smoke overload-smoke recovery-smoke tail-smoke clean
+.PHONY: install test bench bench-micro examples figures lint report trace-smoke overload-smoke recovery-smoke tail-smoke tenancy-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -62,12 +62,22 @@ recovery-smoke:
 # replica inflates latencies, and hedged dispatch must beat the
 # no-hedging baseline's p99 by a fixed margin at equal load with the
 # ledger conservation-exact.  The sweep JSON always lands in
-# tail_smoke_artifacts/ (CI uploads it).
+# benchmarks/results/tail_smoke/ (CI uploads it).
 tail-smoke:
 	PYTHONPATH=src pytest tests/test_cluster_health.py -q
 	PYTHONPATH=src python -c "from repro.experiments.tail_tolerance import tail_smoke; tail_smoke()"
 
-report: lint test bench bench-micro overload-smoke recovery-smoke tail-smoke
+# Multi-tenant QoS plane sanity: the unit/property suite for
+# repro.tenancy plus the noisy-neighbor smoke — a batch tenant ramped
+# past its token-bucket quota must not drag the premium tenant's
+# on-time rate or the cluster's aggregate throughput below the gates.
+# The sweep JSON always lands in benchmarks/results/tenancy_smoke/
+# (CI uploads it).
+tenancy-smoke:
+	PYTHONPATH=src pytest tests/test_tenancy.py -q
+	PYTHONPATH=src python -c "from repro.experiments.tenancy import tenancy_smoke; tenancy_smoke()"
+
+report: lint test bench bench-micro overload-smoke recovery-smoke tail-smoke tenancy-smoke
 	python -m repro lint --format json --out lint_report.json
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

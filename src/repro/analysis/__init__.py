@@ -12,7 +12,12 @@ from repro.analysis.curves import (
     saturated_value,
 )
 from repro.analysis.export import series_to_csv, series_to_json
-from repro.analysis.fairness import jain_index, service_rate_by_length
+from repro.analysis.fairness import (
+    jain_index,
+    service_rate_by_length,
+    service_rate_by_tenant,
+    tenant_jain_index,
+)
 from repro.analysis.ascii_plot import ascii_chart, sparkline
 
 __all__ = [
@@ -24,6 +29,8 @@ __all__ = [
     "series_to_json",
     "jain_index",
     "service_rate_by_length",
+    "service_rate_by_tenant",
+    "tenant_jain_index",
     "ascii_chart",
     "sparkline",
 ]

@@ -15,7 +15,12 @@ import numpy as np
 from repro.serving.metrics import ServingMetrics
 from repro.types import Request
 
-__all__ = ["service_rate_by_length", "jain_index"]
+__all__ = [
+    "service_rate_by_length",
+    "service_rate_by_tenant",
+    "jain_index",
+    "tenant_jain_index",
+]
 
 
 def service_rate_by_length(
@@ -62,9 +67,49 @@ def service_rate_by_length(
     return out
 
 
+def service_rate_by_tenant(
+    metrics: ServingMetrics,
+) -> dict[str, dict[str, float]]:
+    """Per-tenant offered/served counts and service rate.
+
+    Offered load is served ∪ expired, mirroring
+    :func:`service_rate_by_length`; untagged requests fall under the
+    ``"default"`` tenant.  Keys are tenant names sorted alphabetically.
+    """
+    offered: list[Request] = list(metrics.served) + list(metrics.expired)
+    served_ids = {r.request_id for r in metrics.served}
+    out: dict[str, dict[str, float]] = {}
+    for r in offered:
+        tenant = r.tenant if r.tenant is not None else "default"
+        row = out.setdefault(
+            tenant, {"offered": 0.0, "served": 0.0, "service_rate": 0.0}
+        )
+        row["offered"] += 1.0
+        if r.request_id in served_ids:
+            row["served"] += 1.0
+    for row in out.values():
+        row["service_rate"] = (
+            row["served"] / row["offered"] if row["offered"] else 0.0
+        )
+    return dict(sorted(out.items()))
+
+
 def jain_index(rates: Sequence[float]) -> float:
     """Jain's fairness index of per-bucket service rates (1 = perfectly fair)."""
     x = np.asarray([r for r in rates], dtype=float)
     if x.size == 0 or np.all(x == 0):
         return 0.0
     return float((x.sum() ** 2) / (x.size * np.square(x).sum()))
+
+
+def tenant_jain_index(metrics: ServingMetrics) -> float:
+    """Jain's index over per-tenant service rates (1 = perfectly fair).
+
+    A single-tenant run is trivially fair (1.0); a run that served
+    nothing scores 0.0, matching :func:`jain_index` conventions.
+    """
+    rates = [
+        row["service_rate"]
+        for row in service_rate_by_tenant(metrics).values()
+    ]
+    return jain_index(rates)

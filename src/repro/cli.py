@@ -102,6 +102,7 @@ def _ablations() -> dict[str, tuple[str, Callable[[], dict]]]:
         "overload": ("goodput vs offered load, shedding off/on", _run_overload),
         "recovery": ("crash/restore cost vs checkpoint interval", _run_recovery),
         "tail": ("hedged dispatch vs straggler severity", _run_tail),
+        "tenancy": ("noisy-neighbor isolation vs batch-tenant ramp", _run_tenancy),
     }
 
 
@@ -133,6 +134,12 @@ def _run_tail():
     from repro.experiments.tail_tolerance import run_tail
 
     return run_tail(seeds=(0, 1))
+
+
+def _run_tenancy():
+    from repro.experiments.tenancy import run_tenancy
+
+    return run_tenancy(seeds=(0, 1))
 
 
 def available_figures() -> list[str]:

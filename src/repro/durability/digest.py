@@ -83,6 +83,10 @@ def trace_digest(tracer: Any) -> Optional[dict[str, Any]]:
             (e.t, e.kind, dict(e.attrs))
             for e in getattr(tracer, "health_events", [])
         ],
+        "tenant": [
+            (e.t, e.kind, dict(e.attrs))
+            for e in getattr(tracer, "tenant_events", [])
+        ],
         "outcomes": dict(tracer._outcome),
         "duplicates": tracer.duplicate_terminals,
         "attempts": dict(tracer.attempts),

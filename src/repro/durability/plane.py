@@ -47,6 +47,7 @@ from repro.durability.snapshot import (
     capture_engine_cursors,
     health_state,
     overload_state,
+    tenancy_state,
 )
 from repro.faults.plan import SchedulerCrash, SchedulerCrashed
 from repro.types import Request
@@ -420,6 +421,7 @@ class DurabilityPlane:
             ),
             engine_cursors=capture_engine_cursors(live.engines),
             health=health_state(live.health),
+            tenancy=tenancy_state(live.tenancy),
             extra=dict(live.extra),
         )
         self.journal.append(CommitRecord(step=self._step, state=state))

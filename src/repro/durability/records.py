@@ -55,6 +55,7 @@ def _request_to_dict(r: Request) -> dict[str, Any]:
         "deadline": r.deadline,
         "tokens": None if r.tokens is None else list(r.tokens),
         "weight": r.weight,
+        "tenant": r.tenant,
     }
 
 
@@ -70,6 +71,7 @@ def _request_from_dict(d: Mapping[str, Any]) -> Request:
             else tuple(int(t) for t in d["tokens"])
         ),
         weight=float(d["weight"]),
+        tenant=d.get("tenant"),
     )
 
 
@@ -296,6 +298,8 @@ class StepState:
     engine_cursors: Optional[tuple] = None  # (serve_calls, stragglers, down_until)
     # Tail-tolerance plane state (None when the run carries no plane).
     health: Optional[dict] = None
+    # Tenancy plane state (None when the run carries no plane).
+    tenancy: Optional[dict] = None
     # Loop-specific extras (e.g. the online server's new responses).
     extra: dict[str, Any] = field(default_factory=dict)
 

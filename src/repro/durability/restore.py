@@ -77,6 +77,8 @@ def _apply_tracer_delta(tstate: Optional[dict], delta: tuple) -> None:
             tstate["durability_events"].append(item[1])
         elif tag == "health":
             tstate.setdefault("health_events", []).append(item[1])
+        elif tag == "tenant":
+            tstate.setdefault("tenant_events", []).append(item[1])
 
 
 @dataclass
@@ -104,6 +106,7 @@ class RestoredState:
     rng_state: Optional[dict] = None
     engine_cursors: Optional[tuple] = None
     health: Optional[dict] = None
+    tenancy: Optional[dict] = None
     extra: dict = field(default_factory=dict)
     snapshot_seq: int = 0
     replayed_records: int = 0
@@ -121,6 +124,7 @@ class RestoredState:
         admission: Any = None,
         engines: Any = (),
         health: Any = None,
+        tenancy: Any = None,
     ) -> None:
         """Copy restored state in place into the caller-held objects."""
         if (
@@ -140,6 +144,8 @@ class RestoredState:
                 tracer.durability_events[:] = t["durability_events"]
             if hasattr(tracer, "health_events"):
                 tracer.health_events[:] = t.get("health_events", [])
+            if hasattr(tracer, "tenant_events"):
+                tracer.tenant_events[:] = t.get("tenant_events", [])
             tracer._outcome.clear()
             tracer._outcome.update(t["outcome"])
             tracer.duplicate_terminals = t["duplicate_terminals"]
@@ -170,6 +176,8 @@ class RestoredState:
                 engine.down_until = cursors[2]
         if health is not None and self.health is not None:
             health.apply_state(copy.deepcopy(self.health))
+        if tenancy is not None and self.tenancy is not None:
+            tenancy.apply_state(copy.deepcopy(self.tenancy))
 
 
 def restore_state(
@@ -200,6 +208,7 @@ def restore_state(
     rng_state = copy.deepcopy(snap.rng_state)
     engine_cursors = snap.engine_cursors
     hstate = copy.deepcopy(snap.health)
+    tnstate = copy.deepcopy(snap.tenancy)
     extra = copy.deepcopy(snap.extra)
     now = snap.now
     next_arrival = snap.next_arrival
@@ -293,6 +302,8 @@ def restore_state(
                 engine_cursors = st.engine_cursors
             if st.health is not None:
                 hstate = copy.deepcopy(st.health)
+            if st.tenancy is not None:
+                tnstate = copy.deepcopy(st.tenancy)
             if st.extra:
                 extra.update(copy.deepcopy(st.extra))
             step = rec.step + 1
@@ -325,6 +336,7 @@ def restore_state(
         rng_state=rng_state,
         engine_cursors=engine_cursors,
         health=hstate,
+        tenancy=tnstate,
         extra=extra,
         snapshot_seq=snap.seq,
         replayed_records=replayed,

@@ -32,6 +32,7 @@ __all__ = [
     "capture_engine_cursors",
     "health_state",
     "overload_state",
+    "tenancy_state",
     "tracer_state",
 ]
 
@@ -53,6 +54,7 @@ def tracer_state(tracer: Any) -> Optional[dict]:
         "overload_events": list(tracer.overload_events),
         "durability_events": list(getattr(tracer, "durability_events", [])),
         "health_events": list(getattr(tracer, "health_events", [])),
+        "tenant_events": list(getattr(tracer, "tenant_events", [])),
         "outcome": dict(tracer._outcome),
         "duplicate_terminals": tracer.duplicate_terminals,
         "attempts": dict(tracer.attempts),
@@ -89,6 +91,18 @@ def health_state(hp: Any) -> Optional[dict]:
     if hp is None or not getattr(hp, "enabled", False):
         return None
     return hp.export_state()
+
+
+def tenancy_state(tn: Any) -> Optional[dict]:
+    """The tenancy plane's mutable state (None when absent).
+
+    ``export_state`` returns fresh JSON-safe containers (ledgers,
+    bucket levels, in-flight charges, fair-share deficits), so a later
+    plane mutation can never reach into a snapshot.
+    """
+    if tn is None or not getattr(tn, "enabled", False):
+        return None
+    return tn.export_state()
 
 
 def capture_engine_cursors(engines: Any) -> Optional[tuple]:
@@ -136,6 +150,8 @@ class LiveState:
     rng: Any = None
     # The live TailTolerancePlane (None when the run carries no plane).
     health: Any = None
+    # The live TenancyPlane (None when the run carries no plane).
+    tenancy: Any = None
     extra: dict = field(default_factory=dict)
 
 
@@ -163,6 +179,7 @@ class Snapshot:
     rng_state: Optional[dict]
     engine_cursors: Optional[tuple]
     health: Optional[dict]
+    tenancy: Optional[dict]
     extra: dict
 
     @classmethod
@@ -195,6 +212,7 @@ class Snapshot:
             ),
             engine_cursors=capture_engine_cursors(live.engines),
             health=health_state(live.health),
+            tenancy=tenancy_state(live.tenancy),
             extra=copy.deepcopy(live.extra),
         )
 

@@ -176,7 +176,7 @@ def tail_smoke(
     horizon: float = 30.0,
     multiplier: tuple[float, float] = (4.0, 8.0),
     margin: float = SMOKE_MARGIN,
-    artifact_dir: str = "tail_smoke_artifacts",
+    artifact_dir: str = "benchmarks/results/tail_smoke",
     artifact: Optional[str] = "sweep.json",
 ) -> None:
     """CI chaos smoke: hedging must beat no-hedging p99 by ``margin``.

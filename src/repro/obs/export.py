@@ -43,6 +43,7 @@ __all__ = [
     "PID_OVERLOAD",
     "PID_DURABILITY",
     "PID_HEALTH",
+    "PID_TENANCY",
     "TIME_SCALE",
     "chrome_trace",
     "chrome_trace_json",
@@ -66,6 +67,9 @@ PID_DURABILITY = 5
 # Tail-tolerance lane (health transitions, probes, hedges); conditional
 # like the overload and durability lanes.
 PID_HEALTH = 6
+# Tenancy lane (quota rejections, fair-share splits); conditional like
+# the other control-plane lanes.
+PID_TENANCY = 7
 
 # Simulated seconds -> Chrome's microsecond ``ts`` unit.
 TIME_SCALE = 1e6
@@ -77,10 +81,11 @@ _PROCESS_NAMES = {
     PID_OVERLOAD: "overload",
     PID_DURABILITY: "durability",
     PID_HEALTH: "health",
+    PID_TENANCY: "tenancy",
 }
 
 # Lanes whose metadata is conditional on the trace actually using them.
-_OPTIONAL_PIDS = (PID_OVERLOAD, PID_DURABILITY, PID_HEALTH)
+_OPTIONAL_PIDS = (PID_OVERLOAD, PID_DURABILITY, PID_HEALTH, PID_TENANCY)
 
 
 def _metadata_events(*, active: frozenset[int] = frozenset()) -> list[dict[str, Any]]:
@@ -104,12 +109,14 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
     overload = getattr(tracer, "overload_events", [])
     durability = getattr(tracer, "durability_events", [])
     health = getattr(tracer, "health_events", [])
+    tenant = getattr(tracer, "tenant_events", [])
     active = frozenset(
         pid
         for pid, used in (
             (PID_OVERLOAD, overload),
             (PID_DURABILITY, durability),
             (PID_HEALTH, health),
+            (PID_TENANCY, tenant),
         )
         if used
     )
@@ -200,6 +207,19 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
                 # Health events always concern one engine's lane.
                 "tid": int(he.attrs.get("engine", 0)),
                 "args": {"t": he.t, **he.attrs},
+            }
+        )
+    for te in tenant:
+        events.append(
+            {
+                "name": te.kind,
+                "cat": "tenancy",
+                "ph": "i",
+                "s": "t",
+                "ts": te.t * TIME_SCALE,
+                "pid": PID_TENANCY,
+                "tid": 0,
+                "args": {"t": te.t, **te.attrs},
             }
         )
     return {

@@ -34,6 +34,7 @@ from repro.obs.spans import (
     RequestEvent,
     SchedulerEvent,
     Span,
+    TenantEvent,
 )
 from repro.types import Request
 
@@ -87,6 +88,8 @@ class Tracer:
         # Tail-tolerance-plane actions: health transitions, probes,
         # hedges and their resolutions.
         self.health_events: list[HealthEvent] = []
+        # Tenancy-plane actions: quota rejections and fair-share splits.
+        self.tenant_events: list[TenantEvent] = []
         # Optional journal sink: when the durability plane attaches a
         # list here, every post-dedupe emission is mirrored into it as a
         # tagged tuple, giving the plane an exact per-step delta of the
@@ -252,6 +255,15 @@ class Tracer:
         self.health_events.append(event)
         if self.sink is not None:
             self.sink.append(("health", event))
+
+    def tenant(self, t: float, kind: str, **attrs: Any) -> None:
+        """Record one tenancy-plane action (quota / share)."""
+        if not self.enabled:
+            return
+        event = TenantEvent(t=t, kind=kind, attrs=attrs)
+        self.tenant_events.append(event)
+        if self.sink is not None:
+            self.sink.append(("tenant", event))
 
     # ------------------------------------------------------------------ #
     # Derived views

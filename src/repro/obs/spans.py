@@ -38,6 +38,7 @@ __all__ = [
     "OverloadEvent",
     "DurabilityEvent",
     "HealthEvent",
+    "TenantEvent",
 ]
 
 
@@ -160,6 +161,22 @@ class HealthEvent:
     ``"hedge-win"`` / ``"hedge-lose"`` / ``"hedge-failed"`` (how the
     race resolved).  Control-plane actions about engines, not lifecycle
     steps of any request, so they live in their own lane.
+    """
+
+    t: float
+    kind: str
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TenantEvent:
+    """One tenancy-plane action, on the simulated clock.
+
+    ``kind`` names the action — ``"quota"`` (a token-bucket or
+    in-flight-cap rejection, with the tenant and reason) or ``"share"``
+    (one fair-share decision's row/token split across tenants).
+    Control-plane actions about tenants, not lifecycle steps of any
+    request, so they live in their own lane.
     """
 
     t: float

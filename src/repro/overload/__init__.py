@@ -52,6 +52,7 @@ from repro.overload.shedding import (
     LowestUtilityFirst,
     RandomShed,
     SheddingPolicy,
+    TenantWeightedShed,
     make_shedder,
 )
 
@@ -71,6 +72,7 @@ __all__ = [
     "LowestUtilityFirst",
     "LatestDeadlineFirst",
     "RandomShed",
+    "TenantWeightedShed",
     "make_shedder",
     "drop_unservable",
     "shed_requests",

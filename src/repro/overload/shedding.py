@@ -33,6 +33,7 @@ __all__ = [
     "LowestUtilityFirst",
     "LatestDeadlineFirst",
     "RandomShed",
+    "TenantWeightedShed",
     "make_shedder",
 ]
 
@@ -135,10 +136,32 @@ class RandomShed(SheddingPolicy):
         return [ordered[i] for i in perm]
 
 
+class TenantWeightedShed(SheddingPolicy):
+    """Shed low-weight tenants' requests first.
+
+    Requests carry their tenant's SLO-class weight (stamped by the
+    workload generator or :meth:`TCBServer.submit`), so ordering by
+    ascending weight sheds a batch tenant's backlog before touching a
+    premium tenant's — within one weight tier the lowest-utility
+    (longest) requests go first, same rationale as
+    :class:`LowestUtilityFirst`.
+    """
+
+    name = "tenant-weighted"
+
+    def order(
+        self, waiting: Sequence[Request], now: float
+    ) -> list[Request]:
+        return sorted(
+            waiting, key=lambda r: (r.weight, r.utility, r.request_id)
+        )
+
+
 _POLICIES = {
     LowestUtilityFirst.name: LowestUtilityFirst,
     LatestDeadlineFirst.name: LatestDeadlineFirst,
     RandomShed.name: RandomShed,
+    TenantWeightedShed.name: TenantWeightedShed,
 }
 
 

@@ -42,6 +42,7 @@ from repro.serving.admission import AdmissionController
 from repro.serving.common import MIN_SLOT, apply_slot_size, resolve_workload
 from repro.serving.metrics import ServingMetrics
 from repro.serving.simulator import SimulationResult
+from repro.tenancy.plane import TenancyPlane
 from repro.types import Request
 from repro.workload.generator import WorkloadGenerator
 
@@ -62,6 +63,7 @@ class ClusterSimulator:
         overload: Optional[OverloadController] = None,
         durability: Optional[DurabilityPlane] = None,
         health: Optional[TailTolerancePlane] = None,
+        tenancy: Optional[TenancyPlane] = None,
     ):
         if not engines:
             raise ValueError("need at least one engine")
@@ -84,6 +86,9 @@ class ClusterSimulator:
         # overload plane's circuit breaker: the breaker reacts to typed
         # failures, the health plane also to slowness.
         self.health = health
+        # Tenancy plane (off by default; docs/tenancy.md): quota
+        # admission, fair share across tenants, per-tenant ledgers.
+        self.tenancy = tenancy
 
     def _release(self, requests: Iterable[Request]) -> None:
         if self.admission is not None:
@@ -327,6 +332,7 @@ class ClusterSimulator:
             if self.health is not None and self.health.enabled
             else None
         )
+        tn = self.tenancy
         if resume is not None:
             if dur is None:
                 raise ValueError("resume= requires a durability plane")
@@ -344,6 +350,7 @@ class ClusterSimulator:
                 admission=self.admission,
                 engines=self.engines,
                 health=hp,
+                tenancy=tn,
             )
         else:
             metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
@@ -352,6 +359,8 @@ class ClusterSimulator:
                 ov.begin_run()
             if hp is not None:
                 hp.begin_run()
+            if tn is not None:
+                tn.begin_run()
             rejected_before = (
                 len(self.admission.rejected)
                 if self.admission is not None
@@ -364,6 +373,11 @@ class ClusterSimulator:
             next_arrival = 0
         result = SimulationResult(metrics=metrics)
         n = len(requests)
+        # With a quota-free registry admit() can never refuse; skip
+        # the per-arrival dispatch entirely.
+        tn_admit = (
+            tn.admit if tn is not None and not tn.passive_admission else None
+        )
 
         if dur is not None:
 
@@ -380,6 +394,7 @@ class ClusterSimulator:
                     engines=self.engines,
                     idle=list(idle),
                     health=hp,
+                    tenancy=tn,
                 )
 
             dur.begin_run(_live, tr, resume=resume)
@@ -410,10 +425,33 @@ class ClusterSimulator:
                 now, tiebreak, engine_idx = chosen
             while next_arrival < n and requests[next_arrival].arrival <= now:
                 r = requests[next_arrival]
+                if tn is not None:
+                    tn.arrive(r)
                 if self.admission is None or self.admission.admit(r, r.arrival):
                     if ov is not None and not ov.admit(r, r.arrival):
                         self._release([r])
                         metrics.rejected.append(r)
+                        if tn is not None:
+                            tn.rejected([r])
+                        if tr.enabled:
+                            tr.arrive(r, r.arrival)
+                            tr.rejected(r, r.arrival)
+                        if dur is not None:
+                            dur.terminal("rejected", [r], dequeue=False)
+                        next_arrival += 1
+                        continue
+                    quota = (
+                        tn_admit(r, r.arrival) if tn_admit is not None else None
+                    )
+                    if quota is not None:
+                        self._release([r])
+                        metrics.rejected.append(r)
+                        tn.rejected(
+                            [r],
+                            quota=True,
+                            now=r.arrival,
+                            tracer=tr if tr.enabled else None,
+                        )
                         if tr.enabled:
                             tr.arrive(r, r.arrival)
                             tr.rejected(r, r.arrival)
@@ -427,14 +465,19 @@ class ClusterSimulator:
                         tr.enqueue(r, r.arrival)
                     if dur is not None:
                         dur.enqueue(r)
-                elif tr.enabled:
-                    tr.arrive(r, r.arrival)
-                    tr.rejected(r, r.arrival)
+                else:
+                    if tn is not None:
+                        tn.rejected([r])
+                    if tr.enabled:
+                        tr.arrive(r, r.arrival)
+                        tr.rejected(r, r.arrival)
                 next_arrival += 1
             dead = queue.expire(now)
             if tr.enabled:
                 tr.expired(dead, now)
             self._release(dead)
+            if tn is not None:
+                tn.expired(dead)
             if dur is not None:
                 dur.terminal("expired", dead)
             if ov is not None:
@@ -442,6 +485,8 @@ class ClusterSimulator:
                 ov.update(now, queue, tr)
                 shed = ov.maybe_shed(queue, metrics, now, tr)
                 self._release(shed)
+                if tn is not None:
+                    tn.shed(shed)
                 if dur is not None:
                     dur.shed(shed)
             waiting = queue.waiting(now)
@@ -475,7 +520,15 @@ class ClusterSimulator:
                     heapq.heappush(idle, (retry_at, engine_idx, engine_idx))
                 continue
 
-            decision = self.scheduler.select(waiting, now)
+            if tn is not None:
+                decision = tn.select(
+                    self.scheduler,
+                    waiting,
+                    now,
+                    tracer=tr if tr.enabled else None,
+                )
+            else:
+                decision = self.scheduler.select(waiting, now)
             decision.validate(self.scheduler.batch)
             metrics.total_scheduler_time += decision.runtime
             engine = self.engines[engine_idx]
@@ -503,6 +556,8 @@ class ClusterSimulator:
                 if unservable:
                     drop_unservable(queue, unservable, now, tr)
                     self._release(unservable)
+                    if tn is not None:
+                        tn.expired(unservable)
                     if dur is not None:
                         dur.terminal("expired", unservable)
                     heapq.heappush(idle, (now, engine_idx, engine_idx))
@@ -596,6 +651,8 @@ class ClusterSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if tn is not None:
+                    tn.abandoned(lost)
                 if dur is not None:
                     dur.requeued(queue, outcome.failed, retained, lost)
                 if ov is not None:
@@ -613,6 +670,8 @@ class ClusterSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if tn is not None:
+                    tn.abandoned(lost)
                 if dur is not None:
                     dur.requeued(queue, outcome.failed, retained, lost)
                 if ov is not None:
@@ -686,6 +745,10 @@ class ClusterSimulator:
                 tr.served(batch_result.served, finish)
             queue.remove_served(batch_result.served)
             self._release(batch_result.served)
+            if tn is not None:
+                # Exactly-once by construction: a hedge resolves to one
+                # winner whose result is this single serve path.
+                tn.served(batch_result.served, finish)
             if dur is not None:
                 dur.served(batch_result.served, finish)
             if ov is not None:
@@ -718,6 +781,11 @@ class ClusterSimulator:
             for r in requests[next_arrival:]:
                 tr.arrive(r, r.arrival)
             tr.expired(requests[next_arrival:], horizon)
+        if tn is not None:
+            tn.expired(dead)
+            for r in requests[next_arrival:]:
+                tn.arrive(r)
+            tn.expired(requests[next_arrival:])
         if dur is not None:
             dur.terminal("expired", dead)
             dur.end_run(requests[next_arrival:])
@@ -727,6 +795,8 @@ class ClusterSimulator:
         if self.admission is not None:
             metrics.rejected.extend(self.admission.rejected[rejected_before:])
         metrics.assert_conservation()
+        if tn is not None:
+            tn.finalize(metrics)
         if tr.enabled:
             tr.reconcile(metrics)
         return result

@@ -52,6 +52,7 @@ from repro.rng import ensure_rng
 from repro.scheduling.queue import RequestQueue
 from repro.serving.common import resolve_workload
 from repro.serving.metrics import ServingMetrics
+from repro.tenancy.plane import TenancyPlane
 from repro.types import Request
 from repro.workload.generator import WorkloadGenerator
 
@@ -83,6 +84,7 @@ class ContinuousBatchingSimulator:
         trace: Optional[Tracer] = None,
         overload: Optional[OverloadController] = None,
         durability: Optional[DurabilityPlane] = None,
+        tenancy: Optional[TenancyPlane] = None,
     ):
         if mean_output_tokens < 1:
             raise ValueError("mean_output_tokens must be >= 1")
@@ -107,6 +109,10 @@ class ContinuousBatchingSimulator:
         # resident set and the output-length RNG cursor are part of the
         # snapshot, so a restore re-draws the same decode lengths.
         self.durability = durability
+        # Tenancy plane (off by default; docs/tenancy.md): here the
+        # fair share partitions the per-iteration token budget rather
+        # than batch rows.
+        self.tenancy = tenancy
 
     def _event(self, iteration: int) -> FaultEvent:
         if self.fault_plan is None or self.fault_plan.config.is_zero:
@@ -147,19 +153,27 @@ class ContinuousBatchingSimulator:
             ]
             if resume.rng_state is not None:
                 rng.bit_generator.state = copy.deepcopy(resume.rng_state)
-            resume.apply_shared(tracer=tr, overload=ov)
+            resume.apply_shared(tracer=tr, overload=ov, tenancy=self.tenancy)
         else:
             metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
             queue = RequestQueue()
             if ov is not None:
                 ov.begin_run()
+            if self.tenancy is not None:
+                self.tenancy.begin_run()
             running = []
             now = 0.0
             next_arrival = 0
             iteration = 0
         budget = self.batch.capacity_tokens
         key = self._admission_key()
+        tn = self.tenancy
         n = len(requests)
+        # With a quota-free registry admit() can never refuse; skip
+        # the per-arrival dispatch entirely.
+        tn_admit = (
+            tn.admit if tn is not None and not tn.passive_admission else None
+        )
 
         if dur is not None:
 
@@ -176,6 +190,7 @@ class ContinuousBatchingSimulator:
                     ],
                     iteration=iteration,
                     rng=rng,
+                    tenancy=tn,
                 )
 
             dur.begin_run(_live, tr, resume=resume)
@@ -190,8 +205,30 @@ class ContinuousBatchingSimulator:
                 continue
             while next_arrival < n and requests[next_arrival].arrival <= now:
                 r = requests[next_arrival]
+                if tn is not None:
+                    tn.arrive(r)
                 if ov is not None and not ov.admit(r, r.arrival):
                     metrics.rejected.append(r)
+                    if tn is not None:
+                        tn.rejected([r])
+                    if tr.enabled:
+                        tr.arrive(r, r.arrival)
+                        tr.rejected(r, r.arrival)
+                    if dur is not None:
+                        dur.terminal("rejected", [r], dequeue=False)
+                    next_arrival += 1
+                    continue
+                quota = (
+                    tn_admit(r, r.arrival) if tn_admit is not None else None
+                )
+                if quota is not None:
+                    metrics.rejected.append(r)
+                    tn.rejected(
+                        [r],
+                        quota=True,
+                        now=r.arrival,
+                        tracer=tr if tr.enabled else None,
+                    )
                     if tr.enabled:
                         tr.arrive(r, r.arrival)
                         tr.rejected(r, r.arrival)
@@ -209,12 +246,16 @@ class ContinuousBatchingSimulator:
             dead = queue.expire(now)
             if tr.enabled:
                 tr.expired(dead, now)
+            if tn is not None:
+                tn.expired(dead)
             if dur is not None:
                 dur.terminal("expired", dead)
             if ov is not None:
                 ov.observe_outcomes(missed=len(dead))
                 ov.update(now, queue, tr)
                 shed = ov.maybe_shed(queue, metrics, now, tr)
+                if tn is not None:
+                    tn.shed(shed)
                 if dur is not None:
                     dur.shed(shed)
 
@@ -229,16 +270,37 @@ class ContinuousBatchingSimulator:
             waiting = getattr(view, attr, None)
             if waiting is None:
                 waiting = sorted(view, key=key)
+            # Fair share (tenancy): partition the *free* budget across
+            # active tenants by weight×deficit; a tenant that spends its
+            # allowance blocks (FCFS) or skips (utility) only itself.
+            share = (
+                tn.iteration_share(view, max(0, iter_budget - used))
+                if tn is not None
+                else None
+            )
+            blocked: set[str] = set()
             admitted: list[Request] = []
             for req in waiting:
                 if req.length > self.batch.row_length:
                     continue
+                if share is not None:
+                    tenant = tn.key(req)
+                    if tenant in blocked:
+                        continue
+                    if not share.fits(req):
+                        if self.admission == "fcfs":
+                            blocked.add(tenant)  # per-tenant head-of-line
+                        continue
                 if used + req.length > iter_budget:
                     if self.admission == "fcfs":
                         break  # head-of-line blocking, true to FCFS
                     continue
                 used += req.length
+                if share is not None:
+                    share.charge(req)
                 admitted.append(req)
+            if share is not None:
+                share.settle()
             prefill_tokens = 0
             prefill_entries = 0
             if admitted:
@@ -283,6 +345,8 @@ class ContinuousBatchingSimulator:
                 if tr.enabled:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
+                if tn is not None:
+                    tn.abandoned(lost)
                 if dur is not None:
                     dur.requeued(queue, residents, retained, lost, readd=True)
                 if ov is not None:
@@ -313,6 +377,8 @@ class ContinuousBatchingSimulator:
                 if tr.enabled:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
+                if tn is not None:
+                    tn.abandoned(lost)
                 if dur is not None:
                     dur.requeued(queue, victims, retained, lost, readd=True)
                 if ov is not None:
@@ -377,6 +443,8 @@ class ContinuousBatchingSimulator:
             running = still
             if tr.enabled and finished:
                 tr.served(finished, now)
+            if tn is not None and finished:
+                tn.served(finished, now)
             if dur is not None:
                 dur.served(finished, now, dequeue=False)
             if ov is not None and finished:
@@ -395,6 +463,12 @@ class ContinuousBatchingSimulator:
             for r in requests[next_arrival:]:
                 tr.arrive(r, r.arrival)
             tr.expired(requests[next_arrival:], horizon)
+        if tn is not None:
+            tn.expired([r.request for r in running])
+            tn.expired(dead)
+            for r in requests[next_arrival:]:
+                tn.arrive(r)
+            tn.expired(requests[next_arrival:])
         if dur is not None:
             dur.terminal(
                 "expired", [r.request for r in running], dequeue=False
@@ -405,6 +479,8 @@ class ContinuousBatchingSimulator:
         metrics.expired.extend(requests[next_arrival:])
         metrics.abandoned.extend(queue.abandoned)
         metrics.assert_conservation()
+        if tn is not None:
+            tn.finalize(metrics)
         if tr.enabled:
             tr.reconcile(metrics)
         return metrics

@@ -40,6 +40,8 @@ from repro.scheduling.das import DASScheduler
 from repro.scheduling.queue import RequestQueue
 from repro.serving.admission import AdmissionController
 from repro.serving.metrics import ServingMetrics
+from repro.tenancy.admission import QuotaExceeded
+from repro.tenancy.plane import TenancyPlane
 from repro.types import Request
 
 __all__ = ["TCBServer", "Response", "DrainExhausted"]
@@ -85,6 +87,7 @@ class TCBServer:
         overload: Optional[OverloadController] = None,
         durability: Optional[DurabilityPlane] = None,
         checkpoint_every: int = 0,
+        tenancy: Optional[TenancyPlane] = None,
     ):
         self.model_config = model_config or ModelConfig.tiny()
         self.batch = batch or BatchConfig(num_rows=4, row_length=32)
@@ -118,6 +121,12 @@ class TCBServer:
             )
         self.durability = durability
         self._dur_armed = False
+        # Tenancy plane (docs/tenancy.md): quota rejections surface as
+        # typed QuotaExceeded (a BackpressureError subclass) from
+        # submit(); per-tenant ledgers mirror the online ledger.
+        self.tenancy = tenancy
+        if tenancy is not None:
+            tenancy.begin_run()
         # TCBServer is the *online* facade: unlike the discrete-event
         # simulators, its clock really is wall-clock.
         self._t0 = time.perf_counter()  # tcblint: disable=TCB003
@@ -134,6 +143,7 @@ class TCBServer:
             now=self._now(),
             overload=self.overload,
             admission=self.admission,
+            tenancy=self.tenancy,
             extra={
                 "next_id": self._next_id,
                 "submit_times": dict(self._submit_times),
@@ -166,7 +176,9 @@ class TCBServer:
         # sweep), so the metrics bucket mirrors the queue's ledger.
         self.metrics.expired[:] = list(state.queue.expired)
         state.apply_shared(
-            overload=self.overload, admission=self.admission
+            overload=self.overload,
+            admission=self.admission,
+            tenancy=self.tenancy,
         )
         extra = state.extra
         self._submit_times = dict(extra.get("submit_times", {}))
@@ -181,9 +193,20 @@ class TCBServer:
         return state
 
     def submit(
-        self, tokens: Sequence[int], *, deadline_slack: Optional[float] = None
+        self,
+        tokens: Sequence[int],
+        *,
+        deadline_slack: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> int:
-        """Enqueue one request; returns its id for :meth:`poll`."""
+        """Enqueue one request; returns its id for :meth:`poll`.
+
+        With a tenancy plane, ``tenant=`` stamps the request's identity:
+        its SLO class supplies the utility weight (and, when no explicit
+        ``deadline_slack`` is given, scales the default slack), and the
+        tenant's token bucket / in-flight cap may refuse the submit with
+        a typed :class:`~repro.tenancy.admission.QuotaExceeded`.
+        """
         if not tokens:
             raise ValueError("cannot submit an empty request")
         if len(tokens) > self.batch.row_length:
@@ -192,18 +215,29 @@ class TCBServer:
                 f"{self.batch.row_length}"
             )
         self._arm_durability()
+        tn = self.tenancy
         rid = self._next_id
         self._next_id += 1
         now = self._now()
         slack = self.default_slack if deadline_slack is None else deadline_slack
+        weight = 1.0
+        if tn is not None:
+            cls = tn.registry.tenant_class(tenant)
+            weight = cls.weight
+            if deadline_slack is None:
+                slack = self.default_slack * cls.deadline_slack
         req = Request(
             request_id=rid,
             length=len(tokens),
             arrival=now,
             deadline=now + slack,
             tokens=tuple(int(t) for t in tokens),
+            weight=weight,
+            tenant=tenant,
         )
         self.metrics.arrived += 1
+        if tn is not None:
+            tn.arrive(req)
         ov = self.overload
         if ov is not None and not ov.config.limits.unbounded:
             pressure = self._queue.pressure(ov.config.limits)
@@ -216,19 +250,34 @@ class TCBServer:
                 and pressure.queued_tokens + req.length > limits.max_tokens
             ):
                 self.metrics.rejected.append(req)
+                if tn is not None:
+                    tn.rejected([req])
                 self._journal_rejected(req)
                 raise BackpressureError("queue-full", pressure)
         if self.admission is not None and not self.admission.admit(req, now):
             reason = self.admission.check(req, now).reason
             self.metrics.rejected.append(req)
+            if tn is not None:
+                tn.rejected([req])
             self._journal_rejected(req)
             raise BackpressureError(f"admission: {reason}")
         if ov is not None and not ov.admit(req, now):
             if self.admission is not None:
                 self.admission.release([req])
             self.metrics.rejected.append(req)
+            if tn is not None:
+                tn.rejected([req])
             self._journal_rejected(req)
             raise BackpressureError(f"degraded ({ov.level.label})")
+        if tn is not None:
+            quota = tn.admit(req, now)
+            if quota is not None:
+                if self.admission is not None:
+                    self.admission.release([req])
+                self.metrics.rejected.append(req)
+                tn.rejected([req], quota=True, now=now)
+                self._journal_rejected(req)
+                raise QuotaExceeded(tn.key(req), quota)
         self._queue.add(req)
         self._submit_times[rid] = now
         if self.durability is not None:
@@ -253,9 +302,12 @@ class TCBServer:
             dur.tick()
         now = self._now()
         ov = self.overload
+        tn = self.tenancy
         dead = self._queue.expire(now)
         self.metrics.expired.extend(dead)
         self._release(dead)
+        if tn is not None:
+            tn.expired(dead)
         if dur is not None:
             dur.terminal("expired", dead)
         if ov is not None:
@@ -263,6 +315,8 @@ class TCBServer:
             ov.update(now, self._queue)
             shed = ov.maybe_shed(self._queue, self.metrics, now)
             self._release(shed)
+            if tn is not None:
+                tn.shed(shed)
             if dur is not None:
                 dur.shed(shed)
             if not ov.breaker_allow(0, now):
@@ -270,7 +324,10 @@ class TCBServer:
         waiting = self._queue.waiting(now)
         if not waiting:
             return []
-        decision = self.scheduler.select(waiting, now)
+        if tn is not None:
+            decision = tn.select(self.scheduler, waiting, now)
+        else:
+            decision = self.scheduler.select(waiting, now)
         selected = decision.selected()
         if not selected:
             return []
@@ -300,6 +357,8 @@ class TCBServer:
                 req.arrival, finished_at,
             )
         self.metrics.num_batches += 1
+        if tn is not None:
+            tn.served(packing.packed, finished_at)
         if dur is not None:
             dur.served(packing.packed, finished_at)
         out: list[Response] = []

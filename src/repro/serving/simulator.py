@@ -39,6 +39,7 @@ from repro.scheduling.queue import RequestQueue
 from repro.serving.admission import AdmissionController
 from repro.serving.common import MIN_SLOT, apply_slot_size, resolve_workload
 from repro.serving.metrics import ServingMetrics
+from repro.tenancy.plane import TenancyPlane
 from repro.types import Request
 from repro.workload.generator import WorkloadGenerator
 
@@ -68,6 +69,7 @@ class ServingSimulator:
         trace: Optional[Tracer] = None,
         overload: Optional[OverloadController] = None,
         durability: Optional[DurabilityPlane] = None,
+        tenancy: Optional[TenancyPlane] = None,
     ):
         self.scheduler = scheduler
         self.engine = engine
@@ -86,6 +88,10 @@ class ServingSimulator:
         # off by default: without a plane the loop takes exactly its
         # pre-durability paths, bit-identical to today.
         self.durability = durability
+        # Tenancy plane (quota admission, fair share, per-tenant
+        # ledgers; see docs/tenancy.md) is off by default: with
+        # tenancy=None the loop takes exactly its tenant-blind paths.
+        self.tenancy = tenancy
 
     def _release(self, requests: Iterable[Request]) -> None:
         """Tell the admission controller requests left the queue."""
@@ -112,6 +118,7 @@ class ServingSimulator:
         tr = self.trace if self.trace is not None else NO_TRACE
         ov = self.overload
         dur = self.durability
+        tn = self.tenancy
         if resume is not None:
             if dur is None:
                 raise ValueError("resume= requires a durability plane")
@@ -126,12 +133,15 @@ class ServingSimulator:
                 overload=ov,
                 admission=self.admission,
                 engines=(self.engine,),
+                tenancy=tn,
             )
         else:
             metrics = ServingMetrics(horizon=horizon, arrived=len(requests))
             queue = RequestQueue()
             if ov is not None:
                 ov.begin_run()
+            if tn is not None:
+                tn.begin_run()
             # A controller may be shared across runs; only this run's
             # rejections belong in this run's metrics.
             rejected_before = (
@@ -143,6 +153,11 @@ class ServingSimulator:
             next_arrival = 0
         result = SimulationResult(metrics=metrics)
         n = len(requests)
+        # With a quota-free registry admit() can never refuse; skip the
+        # per-arrival dispatch entirely.
+        tn_admit = (
+            tn.admit if tn is not None and not tn.passive_admission else None
+        )
 
         if dur is not None:
 
@@ -157,6 +172,7 @@ class ServingSimulator:
                     overload=ov,
                     admission=self.admission,
                     engines=(self.engine,),
+                    tenancy=tn,
                 )
 
             dur.begin_run(_live, tr, resume=resume)
@@ -167,6 +183,8 @@ class ServingSimulator:
             # Admit arrivals up to the current time.
             while next_arrival < n and requests[next_arrival].arrival <= now:
                 r = requests[next_arrival]
+                if tn is not None:
+                    tn.arrive(r)
                 if self.admission is None or self.admission.admit(r, r.arrival):
                     if ov is not None and not ov.admit(r, r.arrival):
                         # Degradation-tightened admission: an explicit
@@ -174,6 +192,30 @@ class ServingSimulator:
                         # admission controller reserved are given back.
                         self._release([r])
                         metrics.rejected.append(r)
+                        if tn is not None:
+                            tn.rejected([r])
+                        if tr.enabled:
+                            tr.arrive(r, r.arrival)
+                            tr.rejected(r, r.arrival)
+                        if dur is not None:
+                            dur.terminal("rejected", [r], dequeue=False)
+                        next_arrival += 1
+                        continue
+                    quota = (
+                        tn_admit(r, r.arrival) if tn_admit is not None else None
+                    )
+                    if quota is not None:
+                        # Tenant quota (token bucket / in-flight cap):
+                        # a rejected-class terminal, attributed to the
+                        # tenant's own ledger as quota-rejected.
+                        self._release([r])
+                        metrics.rejected.append(r)
+                        tn.rejected(
+                            [r],
+                            quota=True,
+                            now=r.arrival,
+                            tracer=tr if tr.enabled else None,
+                        )
                         if tr.enabled:
                             tr.arrive(r, r.arrival)
                             tr.rejected(r, r.arrival)
@@ -187,14 +229,19 @@ class ServingSimulator:
                         tr.enqueue(r, r.arrival)
                     if dur is not None:
                         dur.enqueue(r)
-                elif tr.enabled:
-                    tr.arrive(r, r.arrival)
-                    tr.rejected(r, r.arrival)
+                else:
+                    if tn is not None:
+                        tn.rejected([r])
+                    if tr.enabled:
+                        tr.arrive(r, r.arrival)
+                        tr.rejected(r, r.arrival)
                 next_arrival += 1
             dead = queue.expire(now)
             if tr.enabled:
                 tr.expired(dead, now)
             self._release(dead)
+            if tn is not None:
+                tn.expired(dead)
             if dur is not None:
                 dur.terminal("expired", dead)
 
@@ -203,6 +250,8 @@ class ServingSimulator:
                 ov.update(now, queue, tr)
                 shed = ov.maybe_shed(queue, metrics, now, tr)
                 self._release(shed)
+                if tn is not None:
+                    tn.shed(shed)
                 if dur is not None:
                     dur.shed(shed)
 
@@ -219,7 +268,15 @@ class ServingSimulator:
                 now = min(ov.breaker_retry_at(0), horizon)
                 continue
 
-            decision = self.scheduler.select(waiting, now)
+            if tn is not None:
+                decision = tn.select(
+                    self.scheduler,
+                    waiting,
+                    now,
+                    tracer=tr if tr.enabled else None,
+                )
+            else:
+                decision = self.scheduler.select(waiting, now)
             decision.validate(self.scheduler.batch)
             metrics.total_scheduler_time += decision.runtime
             apply_slot_size(self.engine, decision)
@@ -247,6 +304,8 @@ class ServingSimulator:
                 if unservable:
                     drop_unservable(queue, unservable, now, tr)
                     self._release(unservable)
+                    if tn is not None:
+                        tn.expired(unservable)
                     if dur is not None:
                         dur.terminal("expired", unservable)
                     continue
@@ -305,6 +364,8 @@ class ServingSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if tn is not None:
+                    tn.abandoned(lost)
                 if dur is not None:
                     dur.requeued(queue, outcome.failed, retained, lost)
                 if ov is not None:
@@ -326,6 +387,8 @@ class ServingSimulator:
                     tr.requeued(retained, now)
                     tr.abandoned(lost, now)
                 self._release(lost)
+                if tn is not None:
+                    tn.abandoned(lost)
                 if dur is not None:
                     dur.requeued(queue, outcome.failed, retained, lost)
                 if ov is not None:
@@ -364,6 +427,8 @@ class ServingSimulator:
 
             queue.remove_served(batch_result.served)
             self._release(batch_result.served)
+            if tn is not None:
+                tn.served(batch_result.served, finish)
             if dur is not None:
                 dur.served(batch_result.served, finish)
             if ov is not None:
@@ -395,6 +460,11 @@ class ServingSimulator:
             for r in requests[next_arrival:]:
                 tr.arrive(r, r.arrival)
             tr.expired(requests[next_arrival:], horizon)
+        if tn is not None:
+            tn.expired(dead)
+            for r in requests[next_arrival:]:
+                tn.arrive(r)
+            tn.expired(requests[next_arrival:])
         if dur is not None:
             dur.terminal("expired", dead)
             dur.end_run(requests[next_arrival:])
@@ -404,6 +474,8 @@ class ServingSimulator:
         if self.admission is not None:
             metrics.rejected.extend(self.admission.rejected[rejected_before:])
         metrics.assert_conservation()
+        if tn is not None:
+            tn.finalize(metrics)
         if tr.enabled:
             tr.reconcile(metrics)
         return result

@@ -168,6 +168,7 @@ class SimTimePurity(Rule):
         "repro/overload/",
         "repro/durability/",
         "repro/cluster_health/",
+        "repro/tenancy/",
     )
     _BANNED = frozenset(
         {
@@ -433,6 +434,7 @@ class LedgeredDrops(Rule):
         "repro/overload/",
         "repro/durability/",
         "repro/cluster_health/",
+        "repro/tenancy/",
     )
     _LEDGER_METHODS = frozenset({"drop", "take"})
 

@@ -1,0 +1,163 @@
+"""Deficit-weighted fair sharing of the batch across active tenants.
+
+Each scheduling decision owns a token budget ``num_rows × row_length``.
+When more than one tenant has waiting requests, that budget is
+partitioned by **weight × deficit** before the per-tenant DAS select
+runs: every active tenant's *entitlement* for the decision is its
+weight-proportional share of the budget plus the deficit carried from
+earlier decisions where it was under-served.  Rows are then handed out
+one at a time to the tenant with the largest remaining entitlement, and
+each row is filled by running the *existing* scheduler on that tenant's
+requests alone with a one-row batch — so concatenation efficiency (the
+whole point of TCB) is preserved within a tenant's share, while a noisy
+neighbor can never monopolize rows: its entitlement is spent after its
+share and the next row goes elsewhere.
+
+Determinism: entitlement ties (e.g. two equal-weight tenants on their
+first decision) are broken by an RNG drawn from a dedicated stream tag
+(:data:`_STREAM_TENANT_FAIRNESS`), TCB011-distinct from every other
+plane, seeded per decision — replays are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.config import BatchConfig
+from repro.scheduling.base import Scheduler, SchedulingDecision
+from repro.types import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = [
+    "fair_select",
+    "entitlements",
+    "settle_deficits",
+    "_STREAM_TENANT_FAIRNESS",
+]
+
+# TCB011: tenancy's dedicated RNG stream tag.  Must stay distinct from
+# 0x5D (random shed), 0xFA (faults), 0xCC (crashes), 0x7B (placement).
+_STREAM_TENANT_FAIRNESS = 0x7E
+
+
+def entitlements(
+    groups: Mapping[str, Sequence[Request]],
+    weights: Mapping[str, float],
+    deficits: Mapping[str, float],
+    budget: int,
+) -> dict[str, float]:
+    """Per-tenant token entitlements for one decision's *budget*.
+
+    ``entitlement = carried deficit + budget × weight / Σ weight`` over
+    the active tenants only — an idle tenant neither earns nor blocks
+    share (its deficit was reset when it went idle).
+    """
+    total_w = sum(weights[t] for t in groups)
+    return {
+        t: deficits.get(t, 0.0) + budget * weights[t] / total_w
+        for t in groups
+    }
+
+
+def settle_deficits(
+    deficits: dict[str, float],
+    ent: Mapping[str, float],
+    used: Mapping[str, int],
+    budget: int,
+) -> None:
+    """Carry unspent entitlement forward; reset idle tenants.
+
+    The carry is clamped to ``[0, budget]``: an over-served tenant
+    starts the next decision from zero (it cannot go into debt beyond
+    one decision), and an under-served one can bank at most one full
+    decision's budget — enough to eventually win rows against any
+    weight ratio without unbounded credit hoarding.
+    """
+    for t in list(deficits):
+        if t not in ent:
+            deficits[t] = 0.0  # went idle: classic DRR reset
+    for t, e in ent.items():
+        deficits[t] = min(float(budget), max(0.0, e - used.get(t, 0)))
+
+
+def fair_select(
+    scheduler: Scheduler,
+    groups: Mapping[str, list[Request]],
+    now: float,
+    *,
+    weights: Mapping[str, float],
+    deficits: dict[str, float],
+    rng: np.random.Generator,
+) -> SchedulingDecision:
+    """One fair-shared scheduling decision over ≥ 2 active tenants.
+
+    Allocates the batch's rows by weight×deficit entitlement, runs the
+    wrapped scheduler per tenant with a one-row batch, and recombines
+    the rows into a single :class:`SchedulingDecision` that satisfies
+    ``validate(batch)`` (row budgets hold per sub-select; duplicates
+    are impossible because each tenant's pool shrinks as it is served).
+    """
+    batch = scheduler.batch
+    budget = batch.num_rows * batch.row_length
+    ent = entitlements(groups, weights, deficits, budget)
+    remaining = {t: list(reqs) for t, reqs in groups.items()}
+    used: dict[str, int] = {t: 0 for t in groups}
+    alloc: dict[str, int] = {t: 0 for t in groups}
+    one_row = BatchConfig(num_rows=1, row_length=batch.row_length)
+
+    rows: list[list[Request]] = []
+    discarded: list[Request] = []
+    runtime = 0.0
+    slot_sizes: set[int] = set()
+    for _ in range(batch.num_rows):
+        active = [t for t in remaining if remaining[t]]
+        if not active:
+            break
+        best_ent = max(ent[t] - used[t] for t in active)
+        tied = sorted(
+            t for t in active if ent[t] - used[t] >= best_ent - 1e-12
+        )
+        winner = tied[0] if len(tied) == 1 else tied[rng.integers(len(tied))]
+        saved = scheduler.batch
+        scheduler.batch = one_row
+        try:
+            sub = scheduler.select(remaining[winner], now)
+        finally:
+            scheduler.batch = saved
+        runtime += sub.runtime
+        discarded.extend(sub.discarded)
+        row = sub.rows[0] if sub.rows else []
+        if not row:
+            # Nothing from this tenant fits a fresh row (e.g. every
+            # request longer than L): park it for this decision so the
+            # row loop always makes progress.
+            remaining[winner] = []
+            continue
+        if sub.slot_size is not None:
+            slot_sizes.add(sub.slot_size)
+        selected_ids = {r.request_id for r in row}
+        remaining[winner] = [
+            r for r in remaining[winner] if r.request_id not in selected_ids
+        ]
+        used[winner] += sum(r.length for r in row)
+        alloc[winner] += 1
+        rows.append(row)
+
+    settle_deficits(deficits, ent, used, budget)
+    return SchedulingDecision(
+        rows=rows,
+        # Slotted sub-selects only compose when they agree on one size.
+        slot_size=slot_sizes.pop() if len(slot_sizes) == 1 else None,
+        runtime=runtime,
+        discarded=discarded,
+        info={
+            "scheduler": f"fair-share/{scheduler.name}",
+            "tenants": sorted(groups),
+            "rows_by_tenant": {t: alloc[t] for t in sorted(alloc)},
+            "tokens_by_tenant": {t: used[t] for t in sorted(used)},
+        },
+    )

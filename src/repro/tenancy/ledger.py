@@ -1,0 +1,177 @@
+"""Per-tenant SLO ledgers with an exact global conservation invariant.
+
+Every terminal the serving loops record into the global
+:class:`~repro.serving.metrics.ServingMetrics` is mirrored here under
+the owning tenant.  :meth:`TenantLedgerBook.assert_matches` then pins
+the new conservation invariant of this plane: *summing any counter
+across tenants equals the global ledger exactly* — integer counters to
+the unit, goodput utility to float tolerance.  A tenancy bug can skew
+who gets served, but it can never create, lose, or double-count a
+request without this tripping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.metrics import ServingMetrics
+
+__all__ = ["TenantLedger", "TenantLedgerBook"]
+
+
+@dataclass
+class TenantLedger:
+    """Terminal accounting for one tenant.
+
+    ``quota_rejected`` counts the subset of ``rejected`` dropped by the
+    tenant's own token bucket / in-flight cap (mirroring how the global
+    ledger counts ``shed`` inside ``rejected``).
+    """
+
+    arrived: int = 0
+    served: int = 0
+    expired: int = 0
+    rejected: int = 0
+    abandoned: int = 0
+    shed: int = 0
+    quota_rejected: int = 0
+    on_time: int = 0
+    served_tokens: int = 0
+    goodput_utility: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "arrived": self.arrived,
+            "served": self.served,
+            "expired": self.expired,
+            "rejected": self.rejected,
+            "abandoned": self.abandoned,
+            "shed": self.shed,
+            "quota_rejected": self.quota_rejected,
+            "on_time": self.on_time,
+            "served_tokens": self.served_tokens,
+            "goodput_utility": self.goodput_utility,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "TenantLedger":
+        return cls(**state)
+
+    @property
+    def on_time_rate(self) -> float:
+        return self.on_time / self.served if self.served else 0.0
+
+    @property
+    def conservation_ok(self) -> bool:
+        return (
+            self.served + self.expired + self.rejected + self.abandoned
+            == self.arrived
+        )
+
+
+@dataclass
+class TenantLedgerBook:
+    """All tenants' ledgers plus the cross-tenant conservation check."""
+
+    ledgers: dict[str, TenantLedger] = field(default_factory=dict)
+
+    def ledger(self, tenant: str) -> TenantLedger:
+        led = self.ledgers.get(tenant)
+        if led is None:
+            led = self.ledgers[tenant] = TenantLedger()
+        return led
+
+    def reset(self) -> None:
+        self.ledgers.clear()
+
+    def totals(self) -> TenantLedger:
+        """Sum of every counter across tenants."""
+        tot = TenantLedger()
+        for led in self.ledgers.values():
+            tot.arrived += led.arrived
+            tot.served += led.served
+            tot.expired += led.expired
+            tot.rejected += led.rejected
+            tot.abandoned += led.abandoned
+            tot.shed += led.shed
+            tot.quota_rejected += led.quota_rejected
+            tot.on_time += led.on_time
+            tot.served_tokens += led.served_tokens
+            tot.goodput_utility += led.goodput_utility
+        return tot
+
+    def assert_matches(
+        self, metrics: "ServingMetrics", *, deep: bool = True
+    ) -> None:
+        """Per-tenant sums must equal the global ledger exactly.
+
+        Integer counters match to the unit; goodput utility (a float
+        sum taken in a different order) matches to ``math.isclose``.
+        ``deep=False`` skips the O(served) on-time/goodput recompute
+        and checks only the O(1) request-conservation counters — used
+        by the plane's per-run finalize when a single ledger exists
+        (one tenant's on-time figures have no cross-tenant split to
+        get wrong, and the inert configuration is separately pinned
+        bit-for-bit by the digest tests).
+        """
+        tot = self.totals()
+        pairs = {
+            "arrived": (tot.arrived, metrics.arrived),
+            "served": (tot.served, metrics.num_served),
+            "expired": (tot.expired, metrics.num_expired),
+            "rejected": (tot.rejected, metrics.num_rejected),
+            "abandoned": (tot.abandoned, metrics.num_abandoned),
+            "shed": (tot.shed, metrics.shed),
+        }
+        if deep:
+            # One pass over the served list for both on-time figures
+            # (``num_on_time`` and ``goodput_utility`` are each O(n)
+            # properties; the check needs them together).
+            on_time = 0
+            goodput = 0.0
+            finish_times = metrics.finish_times
+            for r in metrics.served:
+                window = finish_times.get(r.request_id)
+                if window is None or window[1] <= r.deadline:
+                    on_time += 1
+                    goodput += r.utility
+            pairs["on_time"] = (tot.on_time, on_time)
+        bad = {
+            k: (ours, theirs)
+            for k, (ours, theirs) in pairs.items()
+            if ours != theirs
+        }
+        assert not bad, (
+            f"tenant ledger conservation violated: per-tenant sums != "
+            f"global ServingMetrics for {bad} "
+            f"(tenants={sorted(self.ledgers)})"
+        )
+        if deep:
+            assert math.isclose(
+                tot.goodput_utility,
+                goodput,
+                rel_tol=1e-9,
+                abs_tol=1e-9,
+            ), (
+                f"tenant goodput {tot.goodput_utility} != global {goodput}"
+            )
+        for tenant, led in self.ledgers.items():
+            assert led.conservation_ok, (
+                f"tenant {tenant!r} ledger leaks: "
+                f"{led.served}+{led.expired}+{led.rejected}+"
+                f"{led.abandoned} != {led.arrived}"
+            )
+
+    def export_state(self) -> dict:
+        return {t: led.to_dict() for t, led in self.ledgers.items()}
+
+    def apply_state(self, state: dict) -> None:
+        self.ledgers = {
+            t: TenantLedger.from_dict(d) for t, d in state.items()
+        }
+
+    def summary(self) -> dict[str, dict]:
+        return {t: led.to_dict() for t, led in sorted(self.ledgers.items())}

@@ -49,9 +49,15 @@ class Request:
         ``length``.  Stored as a tuple so the dataclass stays hashable.
     weight:
         Priority weight (extension beyond the paper; default 1.0
-        reproduces §5.1 exactly).  Utility becomes ``w_n / l_n``, so a
-        premium tenant's requests outrank same-length standard ones in
-        DAS without any scheduler change.
+        reproduces §5.1 exactly).  Utility becomes ``w_n / l_n``.  The
+        tenancy plane (``repro.tenancy``) derives this from the tenant's
+        SLO class — ``TenantRegistry.effective_weight`` — so a premium
+        tenant's requests carry a higher weight than same-length batch
+        ones and outrank them in DAS without any scheduler change.
+    tenant:
+        Optional tenant identity for the multi-tenant QoS plane
+        (``repro.tenancy``).  ``None`` (the default) means the request
+        is untenanted and every tenancy feature is a no-op for it.
     """
 
     request_id: int
@@ -60,6 +66,7 @@ class Request:
     deadline: float = float("inf")
     tokens: Optional[tuple[int, ...]] = None
     weight: float = 1.0
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.length < 1:
@@ -103,6 +110,7 @@ class Request:
             deadline=self.deadline,
             tokens=tuple(int(t) for t in tokens),
             weight=self.weight,
+            tenant=self.tenant,
         )
 
 

@@ -70,19 +70,38 @@ class LengthDistribution:
 
 @dataclass(frozen=True)
 class WorkloadGenerator:
-    """Poisson-arrival request stream over a time horizon."""
+    """Poisson-arrival request stream over a time horizon.
+
+    ``tenant_mix`` adds a tenant dimension: a tuple of ``(tenant,
+    probability)`` pairs; each request draws its tenant i.i.d. from the
+    (normalised) mix *after* the arrival/length/deadline draws, so a
+    mix-less generator's trace is bit-identical to pre-tenancy output.
+    When ``registry`` (a :class:`repro.tenancy.TenantRegistry`) is also
+    given, each request's utility weight comes from the tenant's SLO
+    class and its deadline slack is scaled by the class's
+    ``deadline_slack`` multiplier.
+    """
 
     rate: float  # requests / second
     lengths: LengthDistribution = LengthDistribution()
     deadlines: DeadlineModel = DeadlineModel()
     horizon: float = 10.0
     seed: int = 0
+    tenant_mix: Optional[tuple[tuple[str, float], ...]] = None
+    registry: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
             raise ValueError("rate must be positive")
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
+        if self.tenant_mix is not None:
+            if not self.tenant_mix:
+                raise ValueError("tenant_mix must be non-empty when given")
+            if any(p < 0 for _, p in self.tenant_mix):
+                raise ValueError("tenant_mix probabilities must be >= 0")
+            if sum(p for _, p in self.tenant_mix) <= 0:
+                raise ValueError("tenant_mix probabilities must sum > 0")
 
     def generate(self, start_id: int = 0) -> list[Request]:
         """Sample the full request trace (sorted by arrival)."""
@@ -97,7 +116,7 @@ class WorkloadGenerator:
         arrivals = arrivals[arrivals < self.horizon]
         n = arrivals.size
         lengths = self.lengths.sample(n, rng)
-        return [
+        requests = [
             Request(
                 request_id=start_id + i,
                 length=int(lengths[i]),
@@ -106,3 +125,29 @@ class WorkloadGenerator:
             )
             for i in range(n)
         ]
+        if self.tenant_mix is None:
+            return requests
+        names = [t for t, _ in self.tenant_mix]
+        probs = np.array([p for _, p in self.tenant_mix], dtype=float)
+        picks = rng.choice(len(names), size=n, p=probs / probs.sum())
+        out: list[Request] = []
+        for r, pick in zip(requests, picks):
+            tenant = names[int(pick)]
+            weight = r.weight
+            deadline = r.deadline
+            if self.registry is not None:
+                cls = self.registry.tenant_class(tenant)
+                weight = self.registry.effective_weight(tenant)
+                deadline = r.arrival + (r.deadline - r.arrival) * cls.deadline_slack
+            out.append(
+                Request(
+                    request_id=r.request_id,
+                    length=r.length,
+                    arrival=r.arrival,
+                    deadline=deadline,
+                    tokens=r.tokens,
+                    weight=weight,
+                    tenant=tenant,
+                )
+            )
+        return out

@@ -1,8 +1,15 @@
 """Tests for the fairness analysis helpers."""
 
+import dataclasses
+
 import pytest
 
-from repro.analysis.fairness import jain_index, service_rate_by_length
+from repro.analysis.fairness import (
+    jain_index,
+    service_rate_by_length,
+    service_rate_by_tenant,
+    tenant_jain_index,
+)
 from repro.serving.metrics import ServingMetrics
 from repro.types import make_requests
 
@@ -56,3 +63,68 @@ class TestJainIndex:
 
     def test_monotone_in_imbalance(self):
         assert jain_index([0.6, 0.4]) > jain_index([0.9, 0.1])
+
+
+def _tag(requests, tenants):
+    return [
+        dataclasses.replace(r, tenant=t) for r, t in zip(requests, tenants)
+    ]
+
+
+def _tenant_metrics(served, expired):
+    """served/expired: lists of (length, tenant) pairs."""
+    m = ServingMetrics(horizon=1.0)
+    m.served = _tag(
+        make_requests([length for length, _ in served], start_id=0),
+        [t for _, t in served],
+    )
+    m.expired = _tag(
+        make_requests([length for length, _ in expired], start_id=1000),
+        [t for _, t in expired],
+    )
+    return m
+
+
+class TestServiceRateByTenant:
+    def test_counts_and_rates(self):
+        m = _tenant_metrics(
+            served=[(5, "a"), (8, "a"), (5, "b")],
+            expired=[(20, "b"), (30, "b")],
+        )
+        out = service_rate_by_tenant(m)
+        assert out["a"]["offered"] == 2 and out["a"]["served"] == 2
+        assert out["b"]["offered"] == 3 and out["b"]["served"] == 1
+        assert out["a"]["service_rate"] == pytest.approx(1.0)
+        assert out["b"]["service_rate"] == pytest.approx(1 / 3)
+
+    def test_untagged_requests_fall_under_default(self):
+        m = _metrics([3, 5], [10])
+        out = service_rate_by_tenant(m)
+        assert set(out) == {"default"}
+        assert out["default"]["offered"] == 3
+
+    def test_empty(self):
+        assert service_rate_by_tenant(ServingMetrics()) == {}
+
+
+class TestTenantJainIndex:
+    def test_single_tenant_trivially_fair(self):
+        m = _tenant_metrics(served=[(5, "a")], expired=[(9, "a")])
+        assert tenant_jain_index(m) == pytest.approx(1.0)
+
+    def test_zero_served_scores_zero(self):
+        m = _tenant_metrics(
+            served=[], expired=[(5, "a"), (9, "b")]
+        )
+        assert tenant_jain_index(m) == 0.0
+
+    def test_equal_rates_fair_unequal_unfair(self):
+        fair = _tenant_metrics(
+            served=[(5, "a"), (5, "b")], expired=[(9, "a"), (9, "b")]
+        )
+        skewed = _tenant_metrics(
+            served=[(5, "a"), (5, "a")],
+            expired=[(9, "b"), (9, "b")],
+        )
+        assert tenant_jain_index(fair) == pytest.approx(1.0)
+        assert tenant_jain_index(skewed) < tenant_jain_index(fair)

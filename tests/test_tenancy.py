@@ -1,0 +1,587 @@
+"""Tests for the multi-tenant QoS plane (`repro.tenancy`).
+
+Covers: registry/SLO-class resolution, token-bucket admission on the
+sim clock, deficit-weighted fair share over DAS, per-tenant ledger
+conservation across every serving loop (plain, chaos, crash/restore),
+the tenancy=None bit-identity guarantee, and the server's typed
+QuotaExceeded path.
+"""
+
+import copy
+
+import pytest
+
+from repro.config import BatchConfig, ModelConfig
+from repro.durability import DurabilityConfig, DurabilityPlane
+from repro.durability.digest import ledger_digest, trace_digest
+from repro.engine.concat import ConcatEngine
+from repro.faults import FaultConfig, FaultPlan, FaultyEngine
+from repro.faults.plan import SchedulerCrash, SchedulerCrashed
+from repro.obs.recorder import Tracer
+from repro.overload import (
+    BackpressureError,
+    OverloadConfig,
+    OverloadController,
+    QueueLimits,
+    TenantWeightedShed,
+    make_shedder,
+)
+from repro.scheduling.das import DASScheduler
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.continuous import ContinuousBatchingSimulator
+from repro.serving.server import TCBServer
+from repro.serving.simulator import ServingSimulator
+from repro.tenancy import (
+    DEFAULT_TENANT,
+    QuotaExceeded,
+    TenancyPlane,
+    TenantClass,
+    TenantRegistry,
+    TokenBucket,
+)
+from repro.types import Request, make_requests
+from repro.workload.deadlines import DeadlineModel
+from repro.workload.generator import LengthDistribution, WorkloadGenerator
+
+BATCH = BatchConfig(num_rows=4, row_length=20)
+HORIZON = 12.0
+
+MIX = (("gold", 0.3), ("std", 0.4), ("bulk", 0.3))
+
+
+def _registry():
+    return TenantRegistry(
+        {
+            "gold": "premium",
+            "std": "standard",
+            "bulk": TenantClass(
+                name="bulk",
+                weight=0.25,
+                deadline_slack=2.0,
+                rate=60.0,
+                burst=120.0,
+            ),
+        }
+    )
+
+
+def _workload(seed=0, rate=40.0, mix=MIX, registry=None):
+    return WorkloadGenerator(
+        rate=rate,
+        lengths=LengthDistribution(
+            family="normal", mean=8, spread=4, low=3, high=20
+        ),
+        deadlines=DeadlineModel(base_slack=4.0, jitter=0.5),
+        horizon=HORIZON,
+        seed=seed,
+        tenant_mix=mix,
+        registry=registry,
+    ).generate()
+
+
+def _faulty_engine(seed=0):
+    return FaultyEngine(
+        ConcatEngine(BATCH),
+        FaultPlan(
+            FaultConfig(
+                failure_rate=0.15,
+                straggler_rate=0.1,
+                oom_rate=0.05,
+                crash_rate=0.03,
+                downtime=0.2,
+            ),
+            seed=seed,
+        ),
+    )
+
+
+def _overload():
+    return OverloadController(
+        OverloadConfig(limits=QueueLimits(max_requests=48))
+    )
+
+
+# --------------------------------------------------------------------- #
+# Loop factories (mirror tests/test_durability.py)
+# --------------------------------------------------------------------- #
+
+
+def _run_simulator(requests, seed, *, tenancy, chaos=False, plane=None, resume=None):
+    tr = Tracer()
+    sim = ServingSimulator(
+        DASScheduler(BATCH),
+        _faulty_engine(seed) if chaos else ConcatEngine(BATCH),
+        trace=tr,
+        overload=_overload() if chaos else None,
+        durability=plane,
+        tenancy=tenancy,
+    )
+    m = sim.run(requests, horizon=HORIZON, resume=resume).metrics
+    return m, tr
+
+
+def _run_cluster(requests, seed, *, tenancy, chaos=False, plane=None, resume=None):
+    tr = Tracer()
+    engines = (
+        [_faulty_engine(seed * 10 + i) for i in range(3)]
+        if chaos
+        else [ConcatEngine(BATCH) for _ in range(3)]
+    )
+    sim = ClusterSimulator(
+        DASScheduler(BATCH),
+        engines,
+        trace=tr,
+        overload=_overload() if chaos else None,
+        durability=plane,
+        tenancy=tenancy,
+    )
+    m = sim.run(requests, horizon=HORIZON, resume=resume).metrics
+    return m, tr
+
+
+def _run_continuous(requests, seed, *, tenancy, chaos=False, plane=None, resume=None):
+    tr = Tracer()
+    sim = ContinuousBatchingSimulator(
+        BATCH,
+        seed=seed,
+        fault_plan=(
+            FaultPlan(
+                FaultConfig(
+                    failure_rate=0.1,
+                    oom_rate=0.05,
+                    crash_rate=0.03,
+                    downtime=0.2,
+                ),
+                seed=seed,
+            )
+            if chaos
+            else None
+        ),
+        trace=tr,
+        overload=_overload() if chaos else None,
+        durability=plane,
+        tenancy=tenancy,
+    )
+    m = sim.run(requests, horizon=HORIZON, resume=resume)
+    return m, tr
+
+
+LOOPS = {
+    "simulator": _run_simulator,
+    "cluster": _run_cluster,
+    "continuous": _run_continuous,
+}
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+
+class TestTenantRegistry:
+    def test_stock_class_resolution(self):
+        reg = TenantRegistry({"a": "premium", "b": "batch"})
+        assert reg.tenant_class("a").weight == 4.0
+        assert reg.tenant_class("b").deadline_slack == 4.0
+
+    def test_unknown_class_name_raises(self):
+        with pytest.raises(KeyError):
+            TenantRegistry({"a": "platinum"})
+
+    def test_unknown_and_none_tenant_fall_back_to_default(self):
+        reg = TenantRegistry({"a": "premium"}, default_class="batch")
+        assert reg.tenant_class("nobody").name == "batch"
+        assert reg.tenant_class(None).name == "batch"
+
+    def test_tenant_of_untagged_request(self):
+        reg = TenantRegistry()
+        (r,) = make_requests([5], start_id=0)
+        assert r.tenant is None
+        assert reg.tenant_of(r) == DEFAULT_TENANT
+
+    def test_effective_weight(self):
+        reg = _registry()
+        assert reg.effective_weight("gold") == 4.0
+        assert reg.effective_weight("bulk") == 0.25
+        assert reg.effective_weight(None) == 1.0
+
+    def test_class_validation(self):
+        with pytest.raises(ValueError):
+            TenantClass(weight=0.0)
+        with pytest.raises(ValueError):
+            TenantClass(deadline_slack=-1.0)
+        with pytest.raises(ValueError):
+            TenantClass(rate=-5.0)
+        with pytest.raises(ValueError):
+            TenantClass(max_in_flight=0)
+
+    def test_bucket_burst_defaults_to_one_second(self):
+        assert TenantClass(rate=100.0).bucket_burst == 100.0
+        assert TenantClass(rate=100.0, burst=50.0).bucket_burst == 50.0
+        assert TenantClass().bucket_burst is None
+
+
+# --------------------------------------------------------------------- #
+# Token bucket
+# --------------------------------------------------------------------- #
+
+
+class TestTokenBucket:
+    def test_starts_full_and_depletes(self):
+        b = TokenBucket(rate=10.0, burst=30.0)
+        assert b.try_take(30, now=0.0)
+        assert not b.try_take(1, now=0.0)
+
+    def test_refills_at_rate_capped_at_burst(self):
+        b = TokenBucket(rate=10.0, burst=30.0)
+        assert b.try_take(30, now=0.0)
+        assert b.peek(now=1.0) == pytest.approx(10.0)
+        assert b.peek(now=100.0) == pytest.approx(30.0)
+
+    def test_sim_clock_only_never_rewinds(self):
+        b = TokenBucket(rate=10.0, burst=20.0)
+        assert b.try_take(20, now=5.0)
+        # An earlier now must not refill (monotone sim clock).
+        assert b.peek(now=1.0) == pytest.approx(0.0)
+
+    def test_sustained_rate_never_starved_by_float_drift(self):
+        b = TokenBucket(rate=7.0, burst=7.0)
+        t = 1.0
+        for _ in range(1000):
+            assert b.try_take(7, now=t)
+            t += 1.0
+
+    def test_export_apply_round_trip(self):
+        b = TokenBucket(rate=10.0, burst=30.0)
+        b.try_take(12, now=3.0)
+        clone = TokenBucket(rate=10.0, burst=30.0)
+        clone.apply_state(b.export_state())
+        assert clone.level == b.level and clone.last == b.last
+
+
+class TestQuotaExceeded:
+    def test_is_backpressure(self):
+        err = QuotaExceeded("bulk", "token bucket empty")
+        assert isinstance(err, BackpressureError)
+        assert err.tenant == "bulk"
+        assert "bulk" in str(err) and "token bucket empty" in str(err)
+
+
+# --------------------------------------------------------------------- #
+# Fair share
+# --------------------------------------------------------------------- #
+
+
+class TestFairShare:
+    def _waiting(self, n=4):
+        """``n`` requests per tenant; n=20 overcommits the 80-token
+        batch budget so fair share actually has to arbitrate."""
+        gold = make_requests([5, 6, 7, 8] * (n // 4), start_id=0)
+        bulk = make_requests([5, 6, 7, 8] * (n // 4), start_id=1000)
+        gold = [Request(**{**r.__dict__, "tenant": "gold"}) for r in gold]
+        bulk = [Request(**{**r.__dict__, "tenant": "bulk"}) for r in bulk]
+        return gold + bulk
+
+    @staticmethod
+    def _arrived(plane, waiting):
+        # The loop contract: every request passes arrive() before it
+        # can wait (select's run-level fast path relies on it).
+        for r in waiting:
+            plane.arrive(r)
+        return waiting
+
+    def test_single_tenant_is_exact_fast_path(self):
+        plane = TenancyPlane(_registry())
+        sched = DASScheduler(BATCH)
+        waiting = make_requests([5, 6, 7, 8, 9], start_id=0)
+        direct = DASScheduler(BATCH).select(waiting, 0.0)
+        via_plane = plane.select(sched, waiting, 0.0)
+        assert [r.request_id for row in via_plane.rows for r in row] == [
+            r.request_id for row in direct.rows for r in row
+        ]
+        assert via_plane.info.get("scheduler") == direct.info.get("scheduler")
+
+    def test_multi_tenant_partitions_rows(self):
+        plane = TenancyPlane(_registry(), seed=0)
+        waiting = self._arrived(plane, self._waiting())
+        decision = plane.select(DASScheduler(BATCH), waiting, 0.0)
+        info = decision.info
+        assert info["scheduler"].startswith("fair-share/")
+        assert set(info["rows_by_tenant"]) <= {"gold", "bulk"}
+        # The heavier tenant gets at least as many rows.
+        assert info["rows_by_tenant"].get("gold", 0) >= info[
+            "rows_by_tenant"
+        ].get("bulk", 0)
+
+    def test_deterministic_given_seed(self):
+        p1 = TenancyPlane(_registry(), seed=3)
+        p2 = TenancyPlane(_registry(), seed=3)
+        d1 = p1.select(
+            DASScheduler(BATCH), self._arrived(p1, self._waiting()), 0.0
+        )
+        d2 = p2.select(
+            DASScheduler(BATCH), self._arrived(p2, self._waiting()), 0.0
+        )
+        ids1 = [r.request_id for row in d1.rows for r in row]
+        ids2 = [r.request_id for row in d2.rows for r in row]
+        assert ids1 == ids2
+
+    def test_weight_share_converges_over_decisions(self):
+        """Across many contended decisions, rows split ≈ by weight."""
+        plane = TenancyPlane(_registry(), seed=1)
+        rows_by = {"gold": 0, "bulk": 0}
+        for i in range(50):
+            decision = plane.select(
+                DASScheduler(BATCH),
+                self._arrived(plane, self._waiting(n=20)),
+                float(i),
+            )
+            for t, n in decision.info["rows_by_tenant"].items():
+                rows_by[t] += n
+        total = sum(rows_by.values())
+        gold_share = rows_by["gold"] / total
+        # weight 4.0 vs 0.25 → ideal gold share 16/17 ≈ 0.94.
+        assert gold_share > 0.8
+
+
+# --------------------------------------------------------------------- #
+# Per-tenant conservation, all loops × {plain, chaos}
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("loop", sorted(LOOPS))
+@pytest.mark.parametrize("chaos", [False, True], ids=["plain", "chaos"])
+class TestPerTenantConservation:
+    def test_ledgers_sum_to_global(self, loop, chaos):
+        reg = _registry()
+        plane = TenancyPlane(reg, seed=5)
+        requests = _workload(seed=2, registry=reg)
+        m, tr = LOOPS[loop](requests, 7, tenancy=plane, chaos=chaos)
+        m.assert_conservation()
+        tr.reconcile(m)
+        # finalize() already ran inside the loop; assert again explicitly
+        # and check each tenant's own conservation identity.
+        plane.book.assert_matches(m)
+        totals = plane.book.totals()
+        assert totals.arrived == m.arrived
+        for tenant, led in plane.book.ledgers.items():
+            assert led.conservation_ok, f"tenant {tenant} leaked"
+        # The bulk tenant's quota actually bit (the workload over-runs
+        # 60 tokens/s), so quota_rejected is exercised, and quota
+        # rejections stay inside the rejected bucket.
+        book = plane.book
+        assert sum(l.quota_rejected for l in book.ledgers.values()) > 0
+        for led in book.ledgers.values():
+            assert led.quota_rejected <= led.rejected
+            assert led.shed <= led.rejected
+
+
+# --------------------------------------------------------------------- #
+# tenancy=None bit-identity
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("loop", sorted(LOOPS))
+class TestInertByDefault:
+    def test_none_vs_default_plane_bit_identical(self, loop):
+        """An untagged workload under a default plane is bit-identical
+        to tenancy=None: same ledger digest, same trace digest."""
+        requests = _workload(seed=3, mix=None)
+        m0, tr0 = LOOPS[loop](requests, 7, tenancy=None)
+        m1, tr1 = LOOPS[loop](requests, 7, tenancy=TenancyPlane())
+        assert ledger_digest(m0) == ledger_digest(m1)
+        assert trace_digest(tr0) == trace_digest(tr1)
+
+    def test_none_vs_default_plane_bit_identical_chaos(self, loop):
+        requests = _workload(seed=4, mix=None)
+        m0, tr0 = LOOPS[loop](requests, 9, tenancy=None, chaos=True)
+        m1, tr1 = LOOPS[loop](
+            requests, 9, tenancy=TenancyPlane(), chaos=True
+        )
+        assert ledger_digest(m0) == ledger_digest(m1)
+        assert trace_digest(tr0) == trace_digest(tr1)
+
+
+# --------------------------------------------------------------------- #
+# Durability: crash / restore with tenant state
+# --------------------------------------------------------------------- #
+
+
+def _crash_and_restore(run, requests, seed, *, tenancy, step, k, chaos=False):
+    plane = DurabilityPlane(
+        DurabilityConfig(checkpoint_every=k, crash=SchedulerCrash(step))
+    )
+    try:
+        run(requests, seed, tenancy=tenancy, chaos=chaos, plane=plane)
+        return None
+    except SchedulerCrashed:
+        pass
+    state = plane.restore()
+    return run(
+        requests, seed, tenancy=tenancy, chaos=chaos, plane=plane, resume=state
+    )
+
+
+@pytest.mark.parametrize("loop", sorted(LOOPS))
+class TestCrashRestoreTenancy:
+    def test_restored_run_matches_reference(self, loop):
+        reg = _registry()
+        requests = _workload(seed=5, registry=reg)
+
+        ref_plane = TenancyPlane(reg, seed=11)
+        m_ref, tr_ref = LOOPS[loop](requests, 7, tenancy=ref_plane, chaos=True)
+
+        crash_plane = TenancyPlane(reg, seed=11)
+        out = _crash_and_restore(
+            LOOPS[loop], requests, 7, tenancy=crash_plane, step=4, k=2,
+            chaos=True,
+        )
+        if out is None:
+            pytest.skip("planned crash did not fire for this loop/seed")
+        m_crash, tr_crash = out
+        assert ledger_digest(m_ref) == ledger_digest(m_crash)
+        # Per-tenant ledgers survive the crash bit-for-bit too.
+        assert ref_plane.book.export_state() == crash_plane.book.export_state()
+        crash_plane.book.assert_matches(m_crash)
+
+    def test_plane_state_round_trips(self, loop):
+        reg = _registry()
+        plane = TenancyPlane(reg, seed=2)
+        requests = _workload(seed=6, registry=reg)
+        LOOPS[loop](requests, 3, tenancy=plane)
+        state = copy.deepcopy(plane.export_state())
+        clone = TenancyPlane(reg, seed=2)
+        clone.apply_state(state)
+        assert clone.export_state() == state
+
+
+# --------------------------------------------------------------------- #
+# Server: typed quota rejection
+# --------------------------------------------------------------------- #
+
+
+class TestServerQuota:
+    def _server(self, registry):
+        return TCBServer(
+            model_config=ModelConfig.tiny(),
+            batch=BatchConfig(num_rows=2, row_length=16),
+            seed=11,
+            max_new_tokens=4,
+            tenancy=TenancyPlane(registry),
+        )
+
+    def test_quota_exceeded_raised_and_ledgered(self):
+        reg = TenantRegistry(
+            {
+                "bulk": TenantClass(
+                    name="bulk", weight=0.25, rate=10.0, burst=10.0
+                )
+            }
+        )
+        server = self._server(reg)
+        server.submit([5, 6], tenant="bulk")  # 2 tokens, fits burst 10
+        server.submit([5] * 8, tenant="bulk")  # 8 more, bucket now empty
+        with pytest.raises(QuotaExceeded) as exc:
+            server.submit([5, 6, 7], tenant="bulk")
+        assert exc.value.tenant == "bulk"
+        led = server.tenancy.book.ledger("bulk")
+        assert led.quota_rejected == 1
+        assert led.rejected == 1
+        assert led.arrived == 3
+
+    def test_quota_is_backpressure_to_clients(self):
+        reg = TenantRegistry(
+            {"bulk": TenantClass(name="bulk", rate=5.0, burst=5.0)}
+        )
+        server = self._server(reg)
+        server.submit([1] * 5, tenant="bulk")
+        with pytest.raises(BackpressureError):
+            server.submit([1] * 5, tenant="bulk")
+
+    def test_in_flight_cap_releases_after_service(self):
+        reg = TenantRegistry(
+            {"std": TenantClass(name="std", max_in_flight=8)}
+        )
+        server = self._server(reg)
+        server.submit([5] * 8, tenant="std")  # 8 tokens: at the cap
+        with pytest.raises(QuotaExceeded):
+            server.submit([5], tenant="std")
+        server.run_until_drained()
+        # Terminal released the charge: the cap has room again.
+        server.submit([5] * 8, tenant="std")
+
+    def test_tenant_class_stamps_weight_and_slack(self):
+        reg = TenantRegistry({"gold": "premium", "bulk": "batch"})
+        server = self._server(reg)
+        rid_gold = server.submit([5, 6], tenant="gold")
+        rid_bulk = server.submit([5, 6], tenant="bulk")
+        waiting = {
+            r.request_id: r
+            for r in server._queue.waiting(server._now()).by_arrival
+        }
+        assert waiting[rid_gold].weight == 4.0
+        assert waiting[rid_bulk].weight == 0.25
+        slack_gold = (
+            waiting[rid_gold].deadline - waiting[rid_gold].arrival
+        )
+        slack_bulk = (
+            waiting[rid_bulk].deadline - waiting[rid_bulk].arrival
+        )
+        assert slack_bulk == pytest.approx(4.0 * slack_gold)
+
+
+# --------------------------------------------------------------------- #
+# Workload tenant mix + shedding policy
+# --------------------------------------------------------------------- #
+
+
+class TestWorkloadTenantMix:
+    def test_no_mix_is_bit_identical_to_pre_tenancy(self):
+        base = _workload(seed=8, mix=None)
+        again = _workload(seed=8, mix=None)
+        assert base == again
+        assert all(r.tenant is None for r in base)
+
+    def test_mix_preserves_arrivals_and_lengths(self):
+        plain = _workload(seed=8, mix=None)
+        mixed = _workload(seed=8)
+        assert [r.arrival for r in mixed] == [r.arrival for r in plain]
+        assert [r.length for r in mixed] == [r.length for r in plain]
+        tenants = {r.tenant for r in mixed}
+        assert tenants <= {"gold", "std", "bulk"}
+        assert len(tenants) > 1
+
+    def test_registry_stamps_weight_and_scales_deadline(self):
+        reg = _registry()
+        plain = _workload(seed=9, mix=None)
+        mixed = _workload(seed=9, registry=reg)
+        for p, m in zip(plain, mixed):
+            cls = reg.tenant_class(m.tenant)
+            assert m.weight == cls.weight
+            assert m.deadline - m.arrival == pytest.approx(
+                (p.deadline - p.arrival) * cls.deadline_slack
+            )
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(rate=1.0, tenant_mix=())
+        with pytest.raises(ValueError):
+            WorkloadGenerator(rate=1.0, tenant_mix=(("a", -0.5),))
+        with pytest.raises(ValueError):
+            WorkloadGenerator(rate=1.0, tenant_mix=(("a", 0.0),))
+
+
+class TestTenantWeightedShed:
+    def test_low_weight_tenants_shed_first(self):
+        reqs = make_requests([10, 10, 10], start_id=0)
+        tagged = [
+            Request(**{**r.__dict__, "tenant": t, "weight": w})
+            for r, (t, w) in zip(
+                reqs, [("gold", 4.0), ("std", 1.0), ("bulk", 0.25)]
+            )
+        ]
+        order = TenantWeightedShed().order(tagged, now=0.0)
+        assert [r.tenant for r in order] == ["bulk", "std", "gold"]
+
+    def test_registered_with_make_shedder(self):
+        assert make_shedder("tenant-weighted").name == "tenant-weighted"
